@@ -1,0 +1,57 @@
+// Section 3.2 ablation: the paper's two prefetching candidates head-to-head.
+// "We found that both approaches were good at reducing waste and loss to a
+// few percentage points, but the buffer-based approach turned out to be more
+// effective and, incidentally, simpler."
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace waif;
+
+int main() {
+  const std::vector<double> outages = {0.1, 0.3, 0.5, 0.7, 0.9};
+
+  const std::vector<std::string> series = {
+      "buffer16 waste", "buffer16 loss",   "rate-dyn waste", "rate-dyn loss",
+      "rate-0.5 waste", "rate-0.5 loss",   "adaptive waste", "adaptive loss"};
+
+  metrics::Table table(
+      "Ablation (Section 3.2) — buffer-based vs rate-based vs adaptive "
+      "prefetching\n(event frequency = 32/day, user frequency = 2/day, Max = "
+      "8, one virtual year)",
+      "outage", series);
+
+  for (double outage : outages) {
+    workload::ScenarioConfig config = bench::paper_config();
+    config.user_frequency = 2.0;
+    config.max = 8;
+    config.outage_fraction = outage;
+
+    const experiments::Aggregate buffer = experiments::evaluate(
+        config, core::PolicyConfig::buffer(16), /*seeds=*/3);
+    // Dynamic ratio: learned from live reads only (it starves when the link
+    // is rarely up); oracle ratio: the true consumption/production ratio
+    // uf*Max/ef = 0.5, as in the paper's "with a ratio of 0.2, forwarding
+    // takes place at the arrival of every 5th message".
+    const experiments::Aggregate rate_dynamic = experiments::evaluate(
+        config, core::PolicyConfig::rate(0.0), /*seeds=*/3);
+    const experiments::Aggregate rate_oracle = experiments::evaluate(
+        config, core::PolicyConfig::rate(0.5), /*seeds=*/3);
+    const experiments::Aggregate adaptive = experiments::evaluate(
+        config, core::PolicyConfig::adaptive(), /*seeds=*/3);
+
+    table.add_row(bench::fmt("%.1f", outage),
+                  {buffer.waste_percent, buffer.loss_percent,
+                   rate_dynamic.waste_percent, rate_dynamic.loss_percent,
+                   rate_oracle.waste_percent, rate_oracle.loss_percent,
+                   adaptive.waste_percent, adaptive.loss_percent});
+  }
+
+  bench::emit(table,
+              "both prefetchers keep waste and loss within a few percentage "
+              "points; the buffer-based one (and the adaptive policy built "
+              "on it) is at least as good as the rate-based one across "
+              "outage levels.");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Section 3.5 ablation: the unified Figure-7 algorithm (adaptive prefetch
+// limit + adaptive expiration threshold) against the static policies across
+// mixed regimes — overflow, outages, expirations, rank drops, and all of
+// them at once. The adaptive policy needs no tuning yet should track the
+// best static configuration in every regime.
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace waif;
+
+namespace {
+
+struct Regime {
+  const char* name;
+  workload::ScenarioConfig config;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Regime> regimes;
+  {
+    Regime overflow{"overflow only", bench::paper_config()};
+    overflow.config.user_frequency = 2.0;
+    overflow.config.max = 8;
+    regimes.push_back(overflow);
+
+    Regime outage{"outage 50%", bench::paper_config()};
+    outage.config.user_frequency = 2.0;
+    outage.config.max = 8;
+    outage.config.outage_fraction = 0.5;
+    regimes.push_back(outage);
+
+    Regime outage_heavy{"outage 90%", bench::paper_config()};
+    outage_heavy.config.user_frequency = 2.0;
+    outage_heavy.config.max = 8;
+    outage_heavy.config.outage_fraction = 0.9;
+    regimes.push_back(outage_heavy);
+
+    Regime expiry{"expiry 5.7d + outage 90%", bench::paper_config()};
+    expiry.config.user_frequency = 2.0;
+    expiry.config.max = 8;
+    expiry.config.outage_fraction = 0.9;
+    expiry.config.mean_expiration = seconds(491520.0);
+    regimes.push_back(expiry);
+
+    Regime drops{"rank drops 20% + outage 50%", bench::paper_config()};
+    drops.config.user_frequency = 2.0;
+    // Max 6 keeps the above-threshold stream (16/day at threshold 2.5) in
+    // the overflow regime like the other rows; Max 8 would sit exactly at
+    // the critical point where backlogs never drain.
+    drops.config.max = 6;
+    drops.config.threshold = 2.5;
+    drops.config.outage_fraction = 0.5;
+    drops.config.rank_drop_fraction = 0.2;
+    regimes.push_back(drops);
+
+    Regime everything{"all combined", bench::paper_config()};
+    everything.config.user_frequency = 2.0;
+    everything.config.max = 8;
+    everything.config.threshold = 2.0;
+    everything.config.outage_fraction = 0.7;
+    everything.config.mean_expiration = seconds(491520.0);
+    everything.config.rank_drop_fraction = 0.1;
+    regimes.push_back(everything);
+  }
+
+  const std::vector<std::string> series = {
+      "online waste",  "online loss",  "on-demand waste", "on-demand loss",
+      "buffer16 waste", "buffer16 loss", "adaptive waste", "adaptive loss"};
+
+  metrics::Table table(
+      "Ablation (Section 3.5) — the unified adaptive algorithm across mixed "
+      "regimes\n(event frequency = 32/day, user frequency = 2/day, one "
+      "virtual year, 2 seeds)",
+      "regime", series);
+
+  for (const Regime& regime : regimes) {
+    std::vector<double> row;
+    for (const core::PolicyConfig& policy :
+         {core::PolicyConfig::online(), core::PolicyConfig::on_demand(),
+          core::PolicyConfig::buffer(16), core::PolicyConfig::adaptive()}) {
+      const experiments::Aggregate aggregate =
+          experiments::evaluate(regime.config, policy, /*seeds=*/2);
+      row.push_back(aggregate.waste_percent);
+      row.push_back(aggregate.loss_percent);
+    }
+    table.add_row(regime.name, row);
+  }
+
+  bench::emit(table,
+              "online: ~50% waste / 0 loss; on-demand: 0 waste / heavy loss "
+              "under outages; buffer16 and adaptive: both metrics down to a "
+              "few percentage points in every regime, with adaptive needing "
+              "no hand-set limit or threshold.");
+  return 0;
+}

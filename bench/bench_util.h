@@ -1,0 +1,51 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "experiments/runner.h"
+#include "metrics/table.h"
+#include "workload/scenario.h"
+
+namespace waif::bench {
+
+/// The paper's default workload: event frequency 32/day, one virtual year.
+inline workload::ScenarioConfig paper_config() {
+  workload::ScenarioConfig config;
+  config.event_frequency = 32.0;
+  config.horizon = kYear;
+  return config;
+}
+
+/// Mean waste over `seeds` paired runs.
+inline double mean_waste(const workload::ScenarioConfig& config,
+                         const core::PolicyConfig& policy,
+                         std::uint64_t seeds = 3) {
+  return experiments::evaluate(config, policy, seeds).waste_percent;
+}
+
+/// Mean loss over `seeds` paired runs.
+inline double mean_loss(const workload::ScenarioConfig& config,
+                        const core::PolicyConfig& policy,
+                        std::uint64_t seeds = 3) {
+  return experiments::evaluate(config, policy, seeds).loss_percent;
+}
+
+/// Prints the table followed by the paper's expected shape, so the output is
+/// self-checking by eye.
+inline void emit(const metrics::Table& table, const std::string& expectation) {
+  table.print(std::cout);
+  std::cout << "\nPaper expectation: " << expectation << "\n" << std::endl;
+}
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, value);
+  return buf;
+}
+
+}  // namespace waif::bench

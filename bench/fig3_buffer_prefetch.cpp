@@ -1,0 +1,62 @@
+// Figure 3: loss and waste with buffer-based prefetching under different
+// prefetch limits and levels of network availability (event frequency =
+// 32/day, Max = 8, user frequency = 2/day).
+//
+// Expected shape (paper): loss drops to ~0 as the limit grows from 1 to 16;
+// waste starts growing past ~64 and levels off at ~50% (the overflow bound
+// for this configuration). Between 16 and 64 both are below ~1%.
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace waif;
+
+int main() {
+  const std::vector<double> outages = {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99};
+  const std::vector<std::size_t> limits = {1,    4,    16,    64,   256,
+                                           1024, 4096, 16384, 65536};
+
+  std::vector<std::string> series;
+  series.reserve(outages.size());
+  for (double outage : outages) {
+    series.push_back(bench::fmt("outage=%.2f", outage));
+  }
+
+  metrics::Table loss_table(
+      "Figure 3 (top) — Percent of lost messages vs prefetch limit, one "
+      "series per outage level\n(event frequency = 32/day, Max = 8, user "
+      "frequency = 2/day, buffer-based prefetching)",
+      "limit", series);
+  metrics::Table waste_table(
+      "Figure 3 (bottom) — Percent of wasted messages vs prefetch limit, one "
+      "series per outage level",
+      "limit", series);
+
+  for (std::size_t limit : limits) {
+    std::vector<double> loss_row;
+    std::vector<double> waste_row;
+    for (double outage : outages) {
+      workload::ScenarioConfig config = bench::paper_config();
+      config.user_frequency = 2.0;
+      config.max = 8;
+      config.outage_fraction = outage;
+      const experiments::Aggregate aggregate = experiments::evaluate(
+          config, core::PolicyConfig::buffer(limit), /*seeds=*/2);
+      loss_row.push_back(aggregate.loss_percent);
+      waste_row.push_back(aggregate.waste_percent);
+    }
+    loss_table.add_row(std::to_string(limit), loss_row);
+    waste_table.add_row(std::to_string(limit), waste_row);
+  }
+
+  bench::emit(loss_table,
+              "loss falls from on-demand levels to ~0 by limit 16 (the "
+              "average number of messages read per day) at every outage "
+              "level below 1.");
+  bench::emit(waste_table,
+              "waste near 0 through limit 64, then climbs and levels off at "
+              "~50% (with ef=32, Max=8, uf=2 half of all messages are wasted "
+              "in the worst case). Both metrics < ~1% in the [16, 64] gap.");
+  return 0;
+}

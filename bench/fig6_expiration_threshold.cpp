@@ -1,0 +1,77 @@
+// Figure 6: waste and loss due to expirations at different prefetch
+// expiration thresholds (event frequency = 32/day, user frequency = 2/day,
+// network outage 90% of the time). One pair of curves per mean message
+// expiration interval: 4.2 hours, 2.8 days, 5.7 days, 11 days, 54 days.
+//
+// Expected shape (paper): per expiration interval, waste is high at short
+// thresholds (frivolous soon-to-expire messages get prefetched) and drops to
+// ~0 as the threshold grows; loss starts at ~0 and climbs to a plateau (too
+// high a threshold = no prefetching at all). When the lifetime is an order
+// of magnitude above the 8-hour read interval, a gap opens where both are
+// small — and the read interval itself (28800 s) lies inside that gap.
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "pubsub/subscription.h"
+
+using namespace waif;
+
+int main() {
+  // The paper's five expiration intervals (seconds).
+  const std::vector<double> expirations = {15360, 245760, 491520, 983040,
+                                           3932160};
+  const std::vector<double> thresholds = {64,     256,    1024,   4096,
+                                          16384,  65536,  262144, 1048576};
+
+  std::vector<std::string> series;
+  series.reserve(expirations.size());
+  for (double expiration : expirations) {
+    series.push_back(bench::fmt("exp=%.0fs", expiration) + " (" +
+                     format_duration(seconds(expiration)) + ")");
+  }
+
+  metrics::Table waste_table(
+      "Figure 6 (waste curves) — Percent of wasted messages vs prefetch "
+      "expiration threshold (seconds)\n(event frequency = 32/day, user "
+      "frequency = 2/day, Max = infinity, 90% outage, buffer prefetching)",
+      "thr(s)", series);
+  metrics::Table loss_table(
+      "Figure 6 (loss curves) — Percent of lost messages vs prefetch "
+      "expiration threshold (seconds)",
+      "thr(s)", series);
+
+  for (double threshold : thresholds) {
+    std::vector<double> waste_row;
+    std::vector<double> loss_row;
+    for (double expiration : expirations) {
+      workload::ScenarioConfig config = bench::paper_config();
+      config.user_frequency = 2.0;
+      config.max = pubsub::kUnlimitedMax;
+      config.mean_expiration = seconds(expiration);
+      config.outage_fraction = 0.9;
+      const experiments::Aggregate aggregate = experiments::evaluate(
+          config,
+          core::PolicyConfig::buffer(/*limit=*/64,
+                                     /*expiration_threshold=*/
+                                     seconds(threshold)),
+          /*seeds=*/2);
+      waste_row.push_back(aggregate.waste_percent);
+      loss_row.push_back(aggregate.loss_percent);
+    }
+    waste_table.add_row(bench::fmt("%.0f", threshold), waste_row);
+    loss_table.add_row(bench::fmt("%.0f", threshold), loss_row);
+  }
+
+  bench::emit(waste_table,
+              "each curve starts high (short thresholds admit soon-expiring "
+              "messages to the prefetch queue) and drops sharply to ~0 once "
+              "the threshold passes the expiration scale.");
+  bench::emit(loss_table,
+              "each curve starts at ~0 and climbs to a plateau once the "
+              "threshold disables prefetching. For the 4.2h lifetime no "
+              "threshold keeps both metrics low; from ~5.7 days up, a gap "
+              "opens that contains the 28800 s read interval — the paper's "
+              "recommended automatic threshold.");
+  return 0;
+}

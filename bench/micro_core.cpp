@@ -1,0 +1,149 @@
+// Google-benchmark micro-benchmarks of the data path: event queue, ranked
+// queue, broker fan-out, the proxy's NOTIFICATION/READ handlers, and a full
+// one-virtual-year paired experiment.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/channel.h"
+#include "core/proxy.h"
+#include "core/ranked_queue.h"
+#include "device/device.h"
+#include "experiments/runner.h"
+#include "net/link.h"
+#include "pubsub/broker.h"
+#include "pubsub/publisher.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace waif;
+
+pubsub::NotificationPtr make_notification(std::uint64_t id, double rank) {
+  auto n = std::make_shared<pubsub::Notification>();
+  n->id = NotificationId{id};
+  n->topic = "bench";
+  n->rank = rank;
+  return n;
+}
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      queue.schedule(static_cast<SimTime>((i * 2654435761u) % 1000000), [] {});
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_RankedQueueInsertPop(benchmark::State& state) {
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  Rng rng(1);
+  std::vector<pubsub::NotificationPtr> notifications;
+  notifications.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    notifications.push_back(make_notification(i + 1, rng.next_double() * 5.0));
+  }
+  for (auto _ : state) {
+    core::RankedQueue queue;
+    for (const auto& n : notifications) queue.insert(n);
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop_top());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_RankedQueueInsertPop)->Arg(1024)->Arg(16384);
+
+void BM_BrokerFanOut(benchmark::State& state) {
+  const auto subscribers = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim;
+  pubsub::Broker broker(sim);
+  class Sink : public pubsub::Subscriber {
+   public:
+    void on_notification(const pubsub::NotificationPtr& n) override {
+      benchmark::DoNotOptimize(n->rank);
+    }
+  };
+  std::vector<std::unique_ptr<Sink>> sinks;
+  for (std::size_t i = 0; i < subscribers; ++i) {
+    sinks.push_back(std::make_unique<Sink>());
+    broker.subscribe("bench", *sinks.back());
+  }
+  pubsub::Publisher publisher(broker, "p");
+  publisher.advertise("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(publisher.publish("bench", 3.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(subscribers));
+}
+BENCHMARK(BM_BrokerFanOut)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_ProxyNotification(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Link link(sim);
+  device::Device device(sim, DeviceId{1});
+  core::SimDeviceChannel channel(link, device);
+  core::Proxy proxy(sim, channel);
+  core::TopicConfig config;
+  config.options.max = 8;
+  config.policy = core::PolicyConfig::buffer(16);
+  proxy.add_topic("bench", config);
+  Rng rng(2);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    proxy.on_notification(make_notification(++id, rng.next_double() * 5.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProxyNotification);
+
+void BM_ProxyRead(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Link link(sim);
+  device::Device device(sim, DeviceId{1});
+  core::SimDeviceChannel channel(link, device);
+  core::Proxy proxy(sim, channel);
+  core::TopicConfig config;
+  config.options.max = 8;
+  config.policy = core::PolicyConfig::on_demand();
+  proxy.add_topic("bench", config);
+  core::LastHopSession session(proxy, channel);
+  Rng rng(3);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    // Keep the prefetch queue populated so reads always have work to do.
+    for (int i = 0; i < 8; ++i) {
+      proxy.on_notification(make_notification(++id, rng.next_double() * 5.0));
+    }
+    benchmark::DoNotOptimize(session.user_read("bench"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProxyRead);
+
+void BM_FullYearPairedExperiment(benchmark::State& state) {
+  workload::ScenarioConfig config;
+  config.event_frequency = 32.0;
+  config.user_frequency = 2.0;
+  config.max = 8;
+  config.outage_fraction = 0.5;
+  config.horizon = kYear;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiments::compare_policies(
+        config, core::PolicyConfig::buffer(16), ++seed));
+  }
+}
+BENCHMARK(BM_FullYearPairedExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+// main() comes from benchmark::benchmark_main.

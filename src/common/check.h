@@ -1,0 +1,24 @@
+// Internal invariant checking.
+//
+// WAIF_CHECK aborts with a message when a library invariant is violated; it is
+// active in all build types because the simulations are cheap relative to the
+// cost of silently corrupt statistics. Use for programmer errors, not for
+// validating user-supplied configuration (that throws std::invalid_argument).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace waif::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "WAIF_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace waif::detail
+
+#define WAIF_CHECK(expr)                                         \
+  do {                                                           \
+    if (!(expr)) ::waif::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (false)

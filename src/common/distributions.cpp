@@ -1,0 +1,139 @@
+#include "common/distributions.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace waif {
+
+UniformReal::UniformReal(double lo, double hi) : lo_(lo), hi_(hi) {
+  WAIF_CHECK(lo <= hi);
+}
+
+double UniformReal::operator()(Rng& rng) const {
+  return lo_ + (hi_ - lo_) * rng.next_double();
+}
+
+UniformInt::UniformInt(std::int64_t lo, std::int64_t hi) : lo_(lo) {
+  WAIF_CHECK(lo <= hi);
+  span_ = static_cast<std::uint64_t>(hi - lo) + 1;
+}
+
+std::int64_t UniformInt::operator()(Rng& rng) const {
+  // span_ of 0 means the full 64-bit range (hi - lo wrapped); next_below
+  // treats 0 as "no bound" only because we never construct that case for
+  // simulation parameters.
+  return lo_ + static_cast<std::int64_t>(rng.next_below(span_));
+}
+
+Bernoulli::Bernoulli(double p) : p_(p) {
+  WAIF_CHECK(p >= 0.0 && p <= 1.0);
+}
+
+bool Bernoulli::operator()(Rng& rng) const { return rng.next_double() < p_; }
+
+Exponential::Exponential(double mean) : mean_(mean) { WAIF_CHECK(mean >= 0.0); }
+
+double Exponential::operator()(Rng& rng) const {
+  if (mean_ == 0.0) return 0.0;
+  // next_double() is in [0, 1); use 1 - u in (0, 1] so log() is finite.
+  return -mean_ * std::log(1.0 - rng.next_double());
+}
+
+Normal::Normal(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+  WAIF_CHECK(stddev >= 0.0);
+}
+
+double Normal::operator()(Rng& rng) const {
+  // Marsaglia polar method; the spare variate is discarded to keep the
+  // sampler stateless (determinism is worth the extra uniform draws here).
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = 2.0 * rng.next_double() - 1.0;
+    v = 2.0 * rng.next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  return mean_ + stddev_ * u * factor;
+}
+
+LogNormal::LogNormal(double mean, double sigma) : sigma_(sigma) {
+  WAIF_CHECK(mean > 0.0);
+  WAIF_CHECK(sigma >= 0.0);
+  // E[exp(N(mu, sigma^2))] = exp(mu + sigma^2/2); solve for mu.
+  mu_ = std::log(mean) - sigma * sigma / 2.0;
+}
+
+double LogNormal::operator()(Rng& rng) const {
+  return std::exp(Normal(mu_, sigma_)(rng));
+}
+
+Poisson::Poisson(double mean) : mean_(mean) { WAIF_CHECK(mean >= 0.0); }
+
+std::int64_t Poisson::operator()(Rng& rng) const {
+  if (mean_ == 0.0) return 0;
+  if (mean_ < 30.0) {
+    // Inversion by sequential search (Devroye, p. 505).
+    const double limit = std::exp(-mean_);
+    std::int64_t k = 0;
+    double product = rng.next_double();
+    while (product > limit) {
+      ++k;
+      product *= rng.next_double();
+    }
+    return k;
+  }
+  // For large means, a normal approximation with continuity correction is
+  // accurate to well under the noise floor of the simulations that use it.
+  const double sample = Normal(mean_, std::sqrt(mean_))(rng);
+  return sample <= 0.0 ? 0 : static_cast<std::int64_t>(std::llround(sample));
+}
+
+DurationShape parse_duration_shape(const std::string& name) {
+  if (name == "constant") return DurationShape::kConstant;
+  if (name == "exponential") return DurationShape::kExponential;
+  if (name == "uniform") return DurationShape::kUniform;
+  if (name == "normal") return DurationShape::kNormal;
+  throw std::invalid_argument("unknown duration shape: " + name);
+}
+
+std::string to_string(DurationShape shape) {
+  switch (shape) {
+    case DurationShape::kConstant: return "constant";
+    case DurationShape::kExponential: return "exponential";
+    case DurationShape::kUniform: return "uniform";
+    case DurationShape::kNormal: return "normal";
+  }
+  return "unknown";
+}
+
+DurationDistribution::DurationDistribution(DurationShape shape, SimDuration mean)
+    : shape_(shape), mean_(mean) {
+  WAIF_CHECK(mean >= 0);
+}
+
+SimDuration DurationDistribution::operator()(Rng& rng) const {
+  const double mean = static_cast<double>(mean_);
+  double value = 0.0;
+  switch (shape_) {
+    case DurationShape::kConstant:
+      value = mean;
+      break;
+    case DurationShape::kExponential:
+      value = Exponential(mean)(rng);
+      break;
+    case DurationShape::kUniform:
+      value = UniformReal(0.0, 2.0 * mean)(rng);
+      break;
+    case DurationShape::kNormal:
+      value = Normal(mean, mean / 4.0)(rng);
+      break;
+  }
+  if (value < 0.0) value = 0.0;
+  return static_cast<SimDuration>(value);
+}
+
+}  // namespace waif

@@ -1,0 +1,125 @@
+// Random-variate distributions over the deterministic Rng.
+//
+// All samplers are small value types: construct with parameters, call with an
+// Rng. Implemented by hand (not std::*_distribution) so results are identical
+// on every platform for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace waif {
+
+/// Uniform real on [lo, hi).
+class UniformReal {
+ public:
+  UniformReal(double lo, double hi);
+  double operator()(Rng& rng) const;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Uniform integer on [lo, hi] inclusive.
+class UniformInt {
+ public:
+  UniformInt(std::int64_t lo, std::int64_t hi);
+  std::int64_t operator()(Rng& rng) const;
+
+ private:
+  std::int64_t lo_;
+  std::uint64_t span_;  // hi - lo + 1
+};
+
+/// Bernoulli trial with success probability p in [0, 1].
+class Bernoulli {
+ public:
+  explicit Bernoulli(double p);
+  bool operator()(Rng& rng) const;
+
+ private:
+  double p_;
+};
+
+/// Exponential with the given mean (= 1 / rate). Mean 0 yields constant 0.
+class Exponential {
+ public:
+  explicit Exponential(double mean);
+  double operator()(Rng& rng) const;
+  double mean() const { return mean_; }
+
+ private:
+  double mean_;
+};
+
+/// Normal(mean, stddev) via the Marsaglia polar method (no cached spare, so
+/// copies of the sampler are stateless and reproducible).
+class Normal {
+ public:
+  Normal(double mean, double stddev);
+  double operator()(Rng& rng) const;
+
+ private:
+  double mean_;
+  double stddev_;
+};
+
+/// Log-normal parameterized by the *target* mean and the sigma of the
+/// underlying normal. Used for heavy-tailed ("high variance") outage
+/// durations: sigma around 1 gives a coefficient of variation of ~1.3.
+class LogNormal {
+ public:
+  LogNormal(double mean, double sigma);
+  double operator()(Rng& rng) const;
+
+ private:
+  double mu_;  // derived so that E[X] == mean
+  double sigma_;
+};
+
+/// Poisson(mean). Inversion by sequential search for small means, the
+/// Atkinson/normal-rejection hybrid for large ones.
+class Poisson {
+ public:
+  explicit Poisson(double mean);
+  std::int64_t operator()(Rng& rng) const;
+
+ private:
+  double mean_;
+};
+
+/// Shape of a duration distribution, selectable from configuration.
+/// The paper's simulator supports exponential, uniform and normal expiration
+/// lifetimes (Section 3); constant is added for deterministic tests.
+enum class DurationShape : std::uint8_t {
+  kConstant,
+  kExponential,
+  kUniform,  // uniform on [0, 2*mean]
+  kNormal,   // Normal(mean, mean/4), truncated at 0
+};
+
+/// Parses "constant" | "exponential" | "uniform" | "normal".
+DurationShape parse_duration_shape(const std::string& name);
+std::string to_string(DurationShape shape);
+
+/// A configurable non-negative duration sampler with a given mean.
+class DurationDistribution {
+ public:
+  DurationDistribution(DurationShape shape, SimDuration mean);
+
+  /// Samples a duration >= 0 (values are clamped at 0).
+  SimDuration operator()(Rng& rng) const;
+
+  DurationShape shape() const { return shape_; }
+  SimDuration mean() const { return mean_; }
+
+ private:
+  DurationShape shape_;
+  SimDuration mean_;
+};
+
+}  // namespace waif

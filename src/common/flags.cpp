@@ -1,0 +1,176 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace waif {
+
+namespace {
+
+std::string format_default(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+FlagSet::FlagSet(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagSet::add(Flag flag) {
+  WAIF_CHECK(find(flag.name) == nullptr);
+  flags_.push_back(std::move(flag));
+}
+
+void FlagSet::add_double(const std::string& name, double* target,
+                         const std::string& help) {
+  WAIF_CHECK(target != nullptr);
+  add(Flag{name, Kind::kDouble, target, help, format_default(*target)});
+}
+
+void FlagSet::add_int(const std::string& name, std::int64_t* target,
+                      const std::string& help) {
+  WAIF_CHECK(target != nullptr);
+  add(Flag{name, Kind::kInt, target, help, std::to_string(*target)});
+}
+
+void FlagSet::add_bool(const std::string& name, bool* target,
+                       const std::string& help) {
+  WAIF_CHECK(target != nullptr);
+  add(Flag{name, Kind::kBool, target, help, *target ? "true" : "false"});
+}
+
+void FlagSet::add_string(const std::string& name, std::string* target,
+                         const std::string& help) {
+  WAIF_CHECK(target != nullptr);
+  add(Flag{name, Kind::kString, target, help, *target});
+}
+
+void FlagSet::add_duration(const std::string& name, SimDuration* target,
+                           const std::string& help) {
+  WAIF_CHECK(target != nullptr);
+  add(Flag{name, Kind::kDuration, target, help, format_duration(*target)});
+}
+
+const FlagSet::Flag* FlagSet::find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+std::optional<SimDuration> FlagSet::parse_duration(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  const std::string unit = text.substr(consumed);
+  if (unit == "us") return static_cast<SimDuration>(value);
+  if (unit == "ms") return static_cast<SimDuration>(value * static_cast<double>(kMillisecond));
+  if (unit == "s" || unit.empty()) return seconds(value);
+  if (unit == "min") return minutes(value);
+  if (unit == "h") return hours(value);
+  if (unit == "d") return days(value);
+  return std::nullopt;
+}
+
+bool FlagSet::assign(const Flag& flag, const std::string& value) {
+  try {
+    switch (flag.kind) {
+      case Kind::kDouble:
+        *static_cast<double*>(flag.target) = std::stod(value);
+        return true;
+      case Kind::kInt:
+        *static_cast<std::int64_t*>(flag.target) = std::stoll(value);
+        return true;
+      case Kind::kBool:
+        if (value == "true" || value == "1") {
+          *static_cast<bool*>(flag.target) = true;
+        } else if (value == "false" || value == "0") {
+          *static_cast<bool*>(flag.target) = false;
+        } else {
+          return false;
+        }
+        return true;
+      case Kind::kString:
+        *static_cast<std::string*>(flag.target) = value;
+        return true;
+      case Kind::kDuration: {
+        const auto parsed = parse_duration(value);
+        if (!parsed.has_value()) return false;
+        *static_cast<SimDuration*>(flag.target) = *parsed;
+        return true;
+      }
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+  return false;
+}
+
+bool FlagSet::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (token.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", token.c_str());
+      return false;
+    }
+    token = token.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (const std::size_t eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token = token.substr(0, eq);
+      have_value = true;
+    }
+    const Flag* flag = find(token);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag: --%s\n", token.c_str());
+      return false;
+    }
+    if (!have_value) {
+      if (flag->kind == Kind::kBool) {
+        value = "true";  // bare --flag
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s needs a value\n", token.c_str());
+        return false;
+      }
+    }
+    if (!assign(*flag, value)) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n", token.c_str(),
+                   value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FlagSet::help() const {
+  std::string out;
+  if (!description_.empty()) {
+    out += description_;
+    out += "\n\n";
+  }
+  out += "Flags:\n";
+  for (const Flag& flag : flags_) {
+    out += "  --" + flag.name;
+    out += "  (default " + flag.default_text + ")\n      " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace waif

@@ -1,0 +1,63 @@
+// A small command-line flag parser for the example and tool binaries.
+//
+// Supports --name=value and --name value forms, plus bare --bool-flag.
+// Durations accept unit suffixes: us, ms, s, min, h, d (e.g. --expiry=4.2h).
+// Unknown flags are errors; --help prints the registered table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace waif {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description = {});
+
+  /// Registers one flag; `target` must outlive parse(). The current value of
+  /// the target is shown as the default in help output.
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+  void add_int(const std::string& name, std::int64_t* target,
+               const std::string& help);
+  void add_bool(const std::string& name, bool* target, const std::string& help);
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+  /// Duration flags take values like "30s", "4.2h", "5d", "250ms".
+  void add_duration(const std::string& name, SimDuration* target,
+                    const std::string& help);
+
+  /// Parses argv (excluding argv[0]). Returns false (after printing a
+  /// message to stderr/stdout) when parsing failed or --help was requested;
+  /// the caller should exit.
+  bool parse(int argc, const char* const* argv);
+
+  /// Renders the help table.
+  std::string help() const;
+
+  /// Parses a duration literal ("90s", "1.5h", ...); nullopt when malformed.
+  static std::optional<SimDuration> parse_duration(const std::string& text);
+
+ private:
+  enum class Kind : std::uint8_t { kDouble, kInt, kBool, kString, kDuration };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_text;
+  };
+
+  const Flag* find(const std::string& name) const;
+  static bool assign(const Flag& flag, const std::string& value);
+  void add(Flag flag);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace waif

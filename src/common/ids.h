@@ -1,0 +1,57 @@
+// Strongly-typed identifiers used across the pub/sub system.
+//
+// Each id wraps a 64-bit integer; distinct wrapper types prevent a
+// NotificationId from being passed where a DeviceId is expected. All ids are
+// ordered and hashable so they can key standard containers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace waif {
+
+namespace detail {
+
+/// CRTP-free tagged 64-bit id. `Tag` only differentiates the types.
+template <typename Tag>
+struct TaggedId {
+  std::uint64_t value = 0;
+
+  constexpr TaggedId() = default;
+  explicit constexpr TaggedId(std::uint64_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+};
+
+}  // namespace detail
+
+struct NotificationTag;
+struct SubscriptionTag;
+struct DeviceTag;
+struct PublisherTag;
+struct BrokerTag;
+
+/// Identity of a published event notification; unique per publish call.
+using NotificationId = detail::TaggedId<NotificationTag>;
+/// Identity of one (subscriber, topic) subscription.
+using SubscriptionId = detail::TaggedId<SubscriptionTag>;
+/// Identity of a client device attached to a proxy.
+using DeviceId = detail::TaggedId<DeviceTag>;
+/// Identity of a publisher endpoint.
+using PublisherId = detail::TaggedId<PublisherTag>;
+/// Identity of a broker node in the overlay.
+using BrokerId = detail::TaggedId<BrokerTag>;
+
+}  // namespace waif
+
+namespace std {
+
+template <typename Tag>
+struct hash<waif::detail::TaggedId<Tag>> {
+  size_t operator()(waif::detail::TaggedId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+}  // namespace std

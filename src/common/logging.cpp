@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace waif {
+
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "OFF";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(g_level) &&
+         level != LogLevel::kOff;
+}
+
+void log_message(LogLevel level, SimTime when, const std::string& component,
+                 const std::string& message) {
+  if (!log_enabled(level)) return;
+  if (when >= 0) {
+    std::fprintf(stderr, "[%s t=%s] %s: %s\n", level_name(level),
+                 format_duration(when).c_str(), component.c_str(),
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
+                 message.c_str());
+  }
+}
+
+}  // namespace waif

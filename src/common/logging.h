@@ -1,0 +1,30 @@
+// Minimal leveled logging for library diagnostics.
+//
+// Logging is off by default (level kOff) so simulations stay quiet and fast;
+// examples and debugging sessions raise the level. Messages carry the
+// simulated timestamp when the caller provides one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+
+namespace waif {
+
+enum class LogLevel : std::uint8_t { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+/// Sets the global log level. Not thread-safe by design: the simulator is
+/// single-threaded and the level is set once at startup.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// True when a message at `level` would be emitted; use to skip formatting.
+bool log_enabled(LogLevel level);
+
+/// Writes one line to stderr: "[LEVEL t=<sim time>] component: message".
+/// Pass `when < 0` for wall-clock-less messages outside a simulation.
+void log_message(LogLevel level, SimTime when, const std::string& component,
+                 const std::string& message);
+
+}  // namespace waif

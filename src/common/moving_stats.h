@@ -1,0 +1,87 @@
+// Streaming statistics used by the proxy's adaptive heuristics and by the
+// experiment harness.
+//
+// The paper's pseudo-code (Figure 7) relies on `moving_average()` over the
+// sizes of recent reads and `moving_average_difference()` over their
+// timestamps; MovingAverage and IntervalAverage implement exactly those.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+namespace waif {
+
+/// Arithmetic mean over the most recent `window` samples.
+class MovingAverage {
+ public:
+  explicit MovingAverage(std::size_t window);
+
+  void add(double sample);
+  /// Mean of the retained samples; 0 when no sample has been added.
+  double value() const;
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  void reset();
+
+ private:
+  std::size_t window_;
+  std::deque<double> samples_;
+  double sum_ = 0.0;
+};
+
+/// Mean difference between consecutive values of a monotone series — the
+/// paper's moving_average_difference() over read timestamps, yielding the
+/// average interval between user reads.
+class IntervalAverage {
+ public:
+  /// `window` counts retained *differences* (so window+1 timestamps).
+  explicit IntervalAverage(std::size_t window);
+
+  void add(double timestamp);
+  /// Mean interval; nullopt until two timestamps have been observed.
+  std::optional<double> value() const;
+  void reset();
+
+ private:
+  MovingAverage diffs_;
+  std::optional<double> last_;
+};
+
+/// Exponentially-weighted moving average with smoothing factor alpha in (0,1].
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+
+  void add(double sample);
+  double value() const;
+  bool empty() const { return !seeded_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Welford's online mean/variance, for aggregating results across seeds.
+class OnlineStats {
+ public:
+  void add(double sample);
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace waif

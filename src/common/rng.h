@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// The standard library's distribution objects are implementation-defined, so
+// the same seed can produce different workloads on different platforms. To
+// keep every experiment bit-reproducible we implement the generator
+// (xoshiro256++) and all distributions (distributions.h) ourselves.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace waif {
+
+/// splitmix64 step; used to expand a single seed into generator state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ 1.0 by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full state from one 64-bit value via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Returns an independent generator seeded from this one's stream.
+  /// Use to give each workload component (arrivals, reads, outages, ...) its
+  /// own stream so that changing one sweep parameter does not perturb the
+  /// random choices of unrelated components.
+  Rng split();
+
+  /// Advances the state as if 2^128 calls were made; yields non-overlapping
+  /// subsequences for parallel streams.
+  void jump();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace waif

@@ -1,0 +1,27 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace waif {
+
+std::string format_duration(SimDuration d) {
+  char buf[48];
+  const double abs = d < 0 ? -static_cast<double>(d) : static_cast<double>(d);
+  const char* sign = d < 0 ? "-" : "";
+  if (abs >= static_cast<double>(kDay)) {
+    std::snprintf(buf, sizeof buf, "%s%.3gd", sign, abs / static_cast<double>(kDay));
+  } else if (abs >= static_cast<double>(kHour)) {
+    std::snprintf(buf, sizeof buf, "%s%.3gh", sign, abs / static_cast<double>(kHour));
+  } else if (abs >= static_cast<double>(kMinute)) {
+    std::snprintf(buf, sizeof buf, "%s%.3gmin", sign, abs / static_cast<double>(kMinute));
+  } else if (abs >= static_cast<double>(kSecond)) {
+    std::snprintf(buf, sizeof buf, "%s%.3gs", sign, abs / static_cast<double>(kSecond));
+  } else if (abs >= static_cast<double>(kMillisecond)) {
+    std::snprintf(buf, sizeof buf, "%s%.3gms", sign, abs / static_cast<double>(kMillisecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%.3gus", sign, abs);
+  }
+  return buf;
+}
+
+}  // namespace waif

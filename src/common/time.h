@@ -1,0 +1,59 @@
+// Simulated-time types shared by every module.
+//
+// All simulation code measures time in integer microseconds since the start of
+// the run (`SimTime`), which keeps event ordering exact and runs reproducible
+// across platforms. Durations share the representation; the helpers below
+// construct them from human units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace waif {
+
+/// A point in simulated time, in microseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+inline constexpr SimDuration kYear = 365 * kDay;
+
+/// Sentinel meaning "no deadline / never".
+inline constexpr SimTime kNever = INT64_MAX;
+
+constexpr SimDuration microseconds(std::int64_t n) { return n; }
+constexpr SimDuration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr SimDuration seconds(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kSecond));
+}
+constexpr SimDuration minutes(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kMinute));
+}
+constexpr SimDuration hours(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kHour));
+}
+constexpr SimDuration days(double n) {
+  return static_cast<SimDuration>(n * static_cast<double>(kDay));
+}
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double to_hours(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kHour);
+}
+constexpr double to_days(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kDay);
+}
+
+/// Renders a duration as a compact human string, e.g. "4.2h", "17min", "54d".
+std::string format_duration(SimDuration d);
+
+}  // namespace waif

@@ -1,0 +1,21 @@
+#include "core/channel.h"
+
+#include "common/check.h"
+
+namespace waif::core {
+
+SimDeviceChannel::SimDeviceChannel(net::Link& link, device::Device& device)
+    : link_(link), device_(device) {}
+
+bool SimDeviceChannel::link_up() const { return link_.is_up(); }
+
+bool SimDeviceChannel::deliver(const pubsub::NotificationPtr& notification) {
+  WAIF_CHECK(link_.is_up());
+  // A notification transfer is one downlink message; size is the payload
+  // plus a small fixed header.
+  constexpr std::size_t kHeaderBytes = 64;
+  link_.record_downlink(kHeaderBytes + notification->payload.size());
+  return device_.receive(notification);
+}
+
+}  // namespace waif::core

@@ -1,0 +1,41 @@
+// The proxy's view of the last hop toward one device.
+#pragma once
+
+#include "device/device.h"
+#include "net/link.h"
+#include "pubsub/notification.h"
+
+namespace waif::core {
+
+/// Abstracts "send this notification over the last hop". The proxy only ever
+/// forwards when the link is up; implementations report whether the device
+/// accepted the transfer (a dead battery rejects it).
+class DeviceChannel {
+ public:
+  virtual ~DeviceChannel() = default;
+
+  /// True when the last hop can currently carry traffic.
+  virtual bool link_up() const = 0;
+
+  /// Transfers one notification proxy -> device. Pre: link_up().
+  virtual bool deliver(const pubsub::NotificationPtr& notification) = 0;
+};
+
+/// Production binding used by simulations and examples: a net::Link for
+/// connectivity/accounting plus a device::Device as the receiving end.
+class SimDeviceChannel final : public DeviceChannel {
+ public:
+  SimDeviceChannel(net::Link& link, device::Device& device);
+
+  bool link_up() const override;
+  bool deliver(const pubsub::NotificationPtr& notification) override;
+
+  net::Link& link() { return link_; }
+  device::Device& device() { return device_; }
+
+ private:
+  net::Link& link_;
+  device::Device& device_;
+};
+
+}  // namespace waif::core

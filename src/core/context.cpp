@@ -1,0 +1,66 @@
+#include "core/context.h"
+
+#include <stdexcept>
+
+namespace waif::core {
+
+ContextRouter::ContextRouter(pubsub::Broker& broker, Proxy& proxy)
+    : broker_(broker), proxy_(proxy) {}
+
+void ContextRouter::add_rule(const std::string& key, const std::string& pattern,
+                             TopicConfig config) {
+  const std::string placeholder = "{" + key + "}";
+  if (pattern.find(placeholder) == std::string::npos) {
+    throw std::invalid_argument("add_rule: pattern '" + pattern +
+                                "' lacks placeholder " + placeholder);
+  }
+  rules_.push_back(Rule{key, pattern, config, std::nullopt, std::nullopt});
+}
+
+std::vector<std::string> ContextRouter::update_context(const std::string& key,
+                                                       const std::string& value) {
+  ++stats_.context_updates;
+  std::vector<std::string> active;
+  for (Rule& rule : rules_) {
+    if (rule.key != key) continue;
+    const std::string topic = expand(rule.pattern, key, value);
+    if (rule.active_topic == topic) {
+      active.push_back(topic);
+      continue;  // context unchanged for this rule
+    }
+    // The simple context-update handler of Section 2.3: standard
+    // unsubscribe() followed by subscribe() with the new parameter.
+    if (rule.subscription.has_value()) {
+      broker_.unsubscribe(*rule.subscription);
+      proxy_.remove_topic(*rule.active_topic);
+    }
+    proxy_.add_topic(topic, rule.config);
+    rule.subscription = broker_.subscribe(topic, proxy_, rule.config.options);
+    rule.active_topic = topic;
+    ++stats_.resubscriptions;
+    active.push_back(topic);
+  }
+  return active;
+}
+
+std::optional<std::string> ContextRouter::current_topic(
+    const std::string& pattern) const {
+  for (const Rule& rule : rules_) {
+    if (rule.pattern == pattern) return rule.active_topic;
+  }
+  return std::nullopt;
+}
+
+std::string ContextRouter::expand(const std::string& pattern,
+                                  const std::string& key,
+                                  const std::string& value) {
+  const std::string placeholder = "{" + key + "}";
+  std::string result = pattern;
+  for (std::size_t pos = result.find(placeholder); pos != std::string::npos;
+       pos = result.find(placeholder, pos + value.size())) {
+    result.replace(pos, placeholder.size(), value);
+  }
+  return result;
+}
+
+}  // namespace waif::core

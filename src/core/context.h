@@ -1,0 +1,68 @@
+// Context-driven re-subscription (Section 2.3).
+//
+// "Upon a context update from a GPS-enabled mobile device, the proxy detects
+// a change in context and re-subscribes the user to the traffic updates topic
+// with the new location as a parameter." A ContextRouter holds rules mapping
+// a context key (e.g. "city") and a parameterized topic pattern (e.g.
+// "traffic/{city}") to a TopicConfig; update_context() performs the standard
+// unsubscribe()/subscribe() pair against the broker and re-targets the proxy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/forwarding_policy.h"
+#include "core/proxy.h"
+#include "pubsub/broker.h"
+
+namespace waif::core {
+
+struct ContextRouterStats {
+  std::uint64_t context_updates = 0;
+  std::uint64_t resubscriptions = 0;
+};
+
+class ContextRouter {
+ public:
+  ContextRouter(pubsub::Broker& broker, Proxy& proxy);
+
+  /// Every change of context `key` re-subscribes the proxy to the topic
+  /// obtained by substituting "{<key>}" in `pattern` with the new value.
+  /// Throws std::invalid_argument when the pattern lacks the placeholder.
+  void add_rule(const std::string& key, const std::string& pattern,
+                TopicConfig config);
+
+  /// Applies a context update (e.g. key="city", value="tromso"). Rules whose
+  /// key matches are re-targeted; updates carrying an unchanged value are
+  /// no-ops. Returns the list of topics now subscribed for this key.
+  std::vector<std::string> update_context(const std::string& key,
+                                          const std::string& value);
+
+  /// The currently subscribed topic for a rule, if the rule's key has seen a
+  /// context value yet. `pattern` identifies the rule.
+  std::optional<std::string> current_topic(const std::string& pattern) const;
+
+  const ContextRouterStats& stats() const { return stats_; }
+
+ private:
+  struct Rule {
+    std::string key;
+    std::string pattern;
+    TopicConfig config;
+    std::optional<std::string> active_topic;
+    std::optional<SubscriptionId> subscription;
+  };
+
+  static std::string expand(const std::string& pattern, const std::string& key,
+                            const std::string& value);
+
+  pubsub::Broker& broker_;
+  Proxy& proxy_;
+  std::vector<Rule> rules_;
+  ContextRouterStats stats_;
+};
+
+}  // namespace waif::core

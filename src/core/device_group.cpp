@@ -1,0 +1,78 @@
+#include "core/device_group.h"
+
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace waif::core {
+
+using pubsub::NotificationPtr;
+
+DeviceGroup::DeviceGroup(sim::Simulator& sim) : sim_(sim) {}
+
+std::size_t DeviceGroup::add_member(Proxy& proxy, SimDeviceChannel& channel) {
+  members_.push_back(
+      Member{&proxy, &channel, std::make_unique<LastHopSession>(proxy, channel)});
+  return members_.size() - 1;
+}
+
+LastHopSession& DeviceGroup::session(std::size_t member) {
+  WAIF_CHECK(member < members_.size());
+  return *members_[member].session;
+}
+
+std::vector<NotificationPtr> DeviceGroup::user_read(std::size_t member,
+                                                    const std::string& topic) {
+  if (member >= members_.size()) {
+    throw std::invalid_argument("user_read: no such group member");
+  }
+  Member& reader = members_[member];
+  TopicState* state = reader.proxy->topic(topic);
+  if (state == nullptr) {
+    throw std::invalid_argument("user_read: unmanaged topic: " + topic);
+  }
+  const auto& options = state->config().options;
+  ++stats_.group_reads;
+
+  // First the device's own last hop, exactly as a lone device would read.
+  std::vector<NotificationPtr> result;
+  for (const NotificationPtr& notification : reader.session->user_read(topic)) {
+    if (read_ids_.insert(notification->id.value).second) {
+      result.push_back(notification);
+      ++stats_.local_reads;
+    } else {
+      // Another device already served this message to the user.
+      ++stats_.duplicates_discarded;
+    }
+  }
+
+  if (!adhoc_available_) return result;
+
+  // Top up from the peers' caches over the ad-hoc network: one device uses
+  // the cache of another (Section 4).
+  for (std::size_t i = 0;
+       i < members_.size() && static_cast<int>(result.size()) < options.max;
+       ++i) {
+    if (i == member) continue;
+    Member& peer = members_[i];
+    device::Device& peer_device = peer.channel->device();
+    while (static_cast<int>(result.size()) < options.max) {
+      auto batch = peer_device.read(topic, 1, options.threshold);
+      if (batch.empty()) break;
+      ++stats_.adhoc_transfers;  // the copy crossed the ad-hoc network
+      const NotificationPtr& notification = batch.front();
+      if (read_ids_.insert(notification->id.value).second) {
+        result.push_back(notification);
+        ++stats_.peer_reads;
+      } else {
+        ++stats_.duplicates_discarded;
+      }
+    }
+    // Tell the peer's proxy that its buffer shrank so prefetching refills
+    // it — immediately if the peer's link is up, else at its reconnection.
+    peer.session->request_sync(topic);
+  }
+  return result;
+}
+
+}  // namespace waif::core

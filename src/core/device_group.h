@@ -1,0 +1,88 @@
+// Cooperation among multiple devices belonging to one user (the paper's
+// first future-work item, Section 4): "Their interaction, perhaps with the
+// aid of an ad-hoc network, has the potential for reducing both loss and
+// waste by allowing one device to use the cache of another."
+//
+// A DeviceGroup ties together several last-hop sessions (each with its own
+// proxy, link and device). A group read on one device first drains that
+// device, then — when the ad-hoc network is available — tops up from the
+// peers' caches: messages another device prefetched count as read instead of
+// rotting as waste, and reads during one device's outage are served by a
+// peer that was luckier.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/proxy.h"
+#include "pubsub/notification.h"
+#include "sim/simulator.h"
+
+namespace waif::core {
+
+struct DeviceGroupStats {
+  std::uint64_t group_reads = 0;
+  /// Messages served from the reading device's own cache.
+  std::uint64_t local_reads = 0;
+  /// Messages pulled from a peer's cache over the ad-hoc network.
+  std::uint64_t peer_reads = 0;
+  /// Ad-hoc transfers (one per peer-read message).
+  std::uint64_t adhoc_transfers = 0;
+  /// Peer-held duplicates of messages already seen by the user, dropped
+  /// during a group read.
+  std::uint64_t duplicates_discarded = 0;
+};
+
+class DeviceGroup {
+ public:
+  /// `adhoc_available` models the ad-hoc network among the user's devices;
+  /// it can be toggled over time (e.g. the laptop is only reachable at
+  /// home). Devices cooperate only while it is true.
+  explicit DeviceGroup(sim::Simulator& sim);
+
+  DeviceGroup(const DeviceGroup&) = delete;
+  DeviceGroup& operator=(const DeviceGroup&) = delete;
+
+  /// Adds one member (a proxy bound to its device channel). Both must
+  /// outlive the group. Returns the member index.
+  std::size_t add_member(Proxy& proxy, SimDeviceChannel& channel);
+
+  std::size_t size() const { return members_.size(); }
+
+  void set_adhoc_available(bool available) { adhoc_available_ = available; }
+  bool adhoc_available() const { return adhoc_available_; }
+
+  /// One user read on `topic`, performed at device `member`: behaves like
+  /// LastHopSession::user_read on that member, then tops up to the
+  /// subscription Max from peer caches while the ad-hoc network is up.
+  /// Messages the user has already read in this group are deduplicated.
+  std::vector<pubsub::NotificationPtr> user_read(std::size_t member,
+                                                 const std::string& topic);
+
+  const DeviceGroupStats& stats() const { return stats_; }
+
+  /// The underlying per-member session (for tests and examples).
+  LastHopSession& session(std::size_t member);
+
+ private:
+  struct Member {
+    Proxy* proxy;
+    SimDeviceChannel* channel;
+    std::unique_ptr<LastHopSession> session;
+  };
+
+  sim::Simulator& sim_;
+  std::vector<Member> members_;
+  bool adhoc_available_ = true;
+  /// Every id the user has read on any device, to drop duplicates held by
+  /// several caches.
+  std::unordered_set<std::uint64_t> read_ids_;
+  DeviceGroupStats stats_;
+};
+
+}  // namespace waif::core

@@ -1,0 +1,58 @@
+#include "core/forwarding_policy.h"
+
+namespace waif::core {
+
+std::string to_string(DeliveryMode mode) {
+  switch (mode) {
+    case DeliveryMode::kOnLine: return "on-line";
+    case DeliveryMode::kOnDemand: return "on-demand";
+  }
+  return "unknown";
+}
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kOnline: return "online";
+    case PolicyKind::kOnDemand: return "on-demand";
+    case PolicyKind::kBufferPrefetch: return "buffer-prefetch";
+    case PolicyKind::kRatePrefetch: return "rate-prefetch";
+    case PolicyKind::kAdaptive: return "adaptive";
+  }
+  return "unknown";
+}
+
+PolicyConfig PolicyConfig::online() {
+  PolicyConfig config;
+  config.kind = PolicyKind::kOnline;
+  return config;
+}
+
+PolicyConfig PolicyConfig::on_demand() {
+  PolicyConfig config;
+  config.kind = PolicyKind::kOnDemand;
+  return config;
+}
+
+PolicyConfig PolicyConfig::buffer(std::size_t limit,
+                                  SimDuration expiration_threshold) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kBufferPrefetch;
+  config.prefetch_limit = limit;
+  config.expiration_threshold = expiration_threshold;
+  return config;
+}
+
+PolicyConfig PolicyConfig::rate(double ratio) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kRatePrefetch;
+  config.rate_ratio = ratio;
+  return config;
+}
+
+PolicyConfig PolicyConfig::adaptive() {
+  PolicyConfig config;
+  config.kind = PolicyKind::kAdaptive;
+  return config;
+}
+
+}  // namespace waif::core

@@ -1,0 +1,134 @@
+// Forwarding-policy configuration for the last hop (Section 3 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "pubsub/subscription.h"
+
+namespace waif::core {
+
+/// How a topic's notifications reach the device (Section 2.2).
+enum class DeliveryMode : std::uint8_t {
+  /// Forward as soon as the connection allows; the user is interrupted.
+  kOnLine,
+  /// Accumulate at the proxy/device for on-demand display; the last hop is
+  /// optimized with the volume-limiting parameters.
+  kOnDemand,
+};
+
+std::string to_string(DeliveryMode mode);
+
+/// Which forwarding algorithm governs an on-demand topic.
+enum class PolicyKind : std::uint8_t {
+  /// Forward everything as soon as the network allows (zero loss, maximal
+  /// waste under overflow) — the paper's quality-of-service baseline.
+  kOnline,
+  /// Forward nothing until the user asks (zero waste, lossy under outages).
+  kOnDemand,
+  /// Keep at most a fixed number of notifications buffered on the device
+  /// (Section 3.2, buffer-based approach).
+  kBufferPrefetch,
+  /// Forward a fraction of arrivals matching the consumption/production
+  /// ratio (Section 3.2, rate-based approach).
+  kRatePrefetch,
+  /// The unified algorithm of Figure 7: buffer-based with the limit tracking
+  /// 2x the moving average of read sizes, plus the adaptive expiration
+  /// threshold and the optional rank-change delay stage.
+  kAdaptive,
+};
+
+std::string to_string(PolicyKind kind);
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kAdaptive;
+
+  /// kBufferPrefetch: the fixed prefetch limit (Figure 3's x axis).
+  std::size_t prefetch_limit = 16;
+
+  /// kAdaptive: prefetch limit used until the first READ trains the moving
+  /// average (the paper's proxy starts with an empty old_reads history).
+  std::size_t initial_prefetch_limit = 0;
+
+  /// kRatePrefetch: fixed consumption/production ratio; 0 = derive it
+  /// dynamically from the observed arrival and read rates.
+  double rate_ratio = 0.0;
+
+  /// Static prefetch expiration threshold (Figure 6's x axis): on-demand
+  /// events that expire sooner than this are held, not prefetched.
+  /// 0 disables the holding stage. kAdaptive overrides this with the moving
+  /// average interval between reads once reads are observed.
+  SimDuration expiration_threshold = 0;
+
+  /// kAdaptive: only apply the adaptive expiration threshold when the
+  /// average event lifetime exceeds `auto_threshold_safety` times the average
+  /// interval between reads — the Section 3.3 guidance that the automatic
+  /// threshold is safe only when expirations are much longer than reads.
+  /// 0 = always apply (faithful to the Figure 7 pseudo-code).
+  double auto_threshold_safety = 0.0;
+
+  /// Rank-change delay stage (Section 3.4): on-demand events only become
+  /// prefetchable after this long, giving rank drops time to arrive.
+  /// 0 disables the stage.
+  SimDuration delay = 0;
+
+  /// Window (in samples) of the moving averages over read sizes, read
+  /// intervals and event lifetimes.
+  std::size_t moving_average_window = 8;
+
+  /// Factor applied to the moving average of read sizes to obtain the
+  /// adaptive prefetch limit. The paper: "It is safe to set the prefetch
+  /// limit to twice that amount."
+  double prefetch_limit_factor = 2.0;
+
+  /// Convenience factories for the common configurations.
+  static PolicyConfig online();
+  static PolicyConfig on_demand();
+  static PolicyConfig buffer(std::size_t limit,
+                             SimDuration expiration_threshold = 0);
+  static PolicyConfig rate(double ratio = 0.0);
+  static PolicyConfig adaptive();
+};
+
+/// A daily window (times-of-day) during which an on-line topic goes quiet.
+struct QuietWindow {
+  SimDuration start = 0;  // time of day, [0, kDay)
+  SimDuration end = 0;    // time of day, exclusive; must be > start
+};
+
+/// The Section 2.2 hybrid-model refinements: "one can envision a hybrid model
+/// in which an on-line topic goes quiet (e.g. during a meeting) or an
+/// on-demand topic interrupts (e.g. a tornado warning on a weather topic).
+/// On-line topics could be configured to only deliver events at specific
+/// points during the day with a certain Max number of messages per day."
+struct DeliveryRefinements {
+  /// On-demand events with rank at or above this are forwarded immediately,
+  /// interrupting the user. Default: disabled (nothing interrupts).
+  double interrupt_threshold = std::numeric_limits<double>::infinity();
+
+  /// Daily windows during which an on-line topic holds its deliveries
+  /// (meetings, nights). Drained when the window closes.
+  std::vector<QuietWindow> quiet_windows;
+
+  /// When non-empty, an on-line topic delivers only at these times of day
+  /// (digest mode); events accumulate in between.
+  std::vector<SimDuration> digest_times;
+
+  /// Maximum on-line deliveries per day; 0 = unlimited. Excess events wait
+  /// for the next day.
+  std::size_t max_per_day = 0;
+};
+
+/// Everything the proxy needs to manage one topic for one device.
+struct TopicConfig {
+  DeliveryMode mode = DeliveryMode::kOnDemand;
+  pubsub::SubscriptionOptions options;
+  PolicyConfig policy;
+  DeliveryRefinements refinements;
+};
+
+}  // namespace waif::core

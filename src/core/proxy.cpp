@@ -1,0 +1,174 @@
+#include "core/proxy.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace waif::core {
+
+using pubsub::NotificationPtr;
+
+Proxy::Proxy(sim::Simulator& sim, DeviceChannel& channel, std::string name)
+    : sim_(sim), channel_(channel), name_(std::move(name)) {}
+
+TopicState& Proxy::add_topic(const std::string& topic, TopicConfig config) {
+  auto [it, inserted] = topics_.try_emplace(
+      topic, std::make_unique<TopicState>(sim_, channel_, topic, config));
+  if (!inserted) {
+    throw std::invalid_argument("add_topic: topic already managed: " + topic);
+  }
+  return *it->second;
+}
+
+bool Proxy::remove_topic(const std::string& topic) {
+  return topics_.erase(topic) > 0;
+}
+
+TopicState* Proxy::topic(const std::string& topic) {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : it->second.get();
+}
+
+const TopicState* Proxy::topic(const std::string& topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : it->second.get();
+}
+
+void Proxy::attach_to_link(net::Link& link) {
+  link.on_state_change([this](net::LinkState state) { handle_network(state); });
+}
+
+void Proxy::on_notification(const NotificationPtr& notification) {
+  ++stats_.notifications;
+  auto it = topics_.find(notification->topic);
+  if (it == topics_.end()) {
+    // Subscribed at the broker but not configured here (or recently removed).
+    ++stats_.unknown_topic_drops;
+    log_message(LogLevel::kDebug, sim_.now(), name_,
+                "dropping notification on unmanaged topic " +
+                    notification->topic);
+    return;
+  }
+  it->second->handle_notification(notification);
+}
+
+void Proxy::on_topic_withdrawn(const std::string& topic) {
+  ++stats_.topics_withdrawn;
+  log_message(LogLevel::kInfo, sim_.now(), name_,
+              "topic withdrawn upstream: " + topic);
+}
+
+std::vector<NotificationPtr> Proxy::handle_read(const std::string& topic,
+                                                const ReadRequest& request) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    throw std::invalid_argument("handle_read: unmanaged topic: " + topic);
+  }
+  ++stats_.reads;
+  return it->second->handle_read(request);
+}
+
+void Proxy::handle_sync(const std::string& topic, std::size_t queue_size,
+                        const std::vector<ReadRecord>& offline_reads) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    throw std::invalid_argument("handle_sync: unmanaged topic: " + topic);
+  }
+  it->second->handle_sync(queue_size, offline_reads);
+}
+
+void Proxy::handle_network(net::LinkState status) {
+  ++stats_.network_changes;
+  for (auto& [topic, state] : topics_) state->handle_network(status);
+}
+
+// ------------------------------------------------------------ LastHopSession
+
+LastHopSession::LastHopSession(Proxy& proxy, SimDeviceChannel& channel)
+    : proxy_(proxy), channel_(channel) {
+  channel_.link().on_state_change([this](net::LinkState state) {
+    if (state != net::LinkState::kUp) return;
+    // Flush syncs deferred during the outage: the device reports how much it
+    // now holds, correcting the proxy's queue-size view so the forwarding
+    // policy can refill the buffer. No data is pulled — that only happens on
+    // a live READ.
+    const auto pending = std::move(pending_sync_);
+    pending_sync_.clear();
+    device::Device& device = channel_.device();
+    for (const auto& [topic, offline_reads] : pending) {
+      if (proxy_.topic(topic) == nullptr) continue;
+      constexpr std::size_t kSyncBytes = 16;
+      constexpr std::size_t kBytesPerRecord = 12;
+      channel_.link().record_uplink(kSyncBytes +
+                                    kBytesPerRecord * offline_reads.size());
+      proxy_.handle_sync(topic, device.queue_size(topic), offline_reads);
+    }
+  });
+}
+
+void LastHopSession::send_read(const std::string& topic) {
+  TopicState* state = proxy_.topic(topic);
+  const auto& options = state->config().options;
+  device::Device& device = channel_.device();
+
+  // Uplink READ request: N, queue_size, and the device's best ids.
+  ReadRequest request;
+  request.n = options.max;
+  request.queue_size = device.queue_size(topic);
+  request.client_events = device.top_ids(topic, options.max, options.threshold);
+  constexpr std::size_t kRequestHeaderBytes = 32;
+  constexpr std::size_t kBytesPerId = 8;
+  channel_.link().record_uplink(kRequestHeaderBytes +
+                                kBytesPerId * request.client_events.size());
+  proxy_.handle_read(topic, request);  // difference arrives via the channel
+}
+
+void LastHopSession::request_sync(const std::string& topic) {
+  if (proxy_.topic(topic) == nullptr) return;
+  if (channel_.link_up()) {
+    constexpr std::size_t kSyncBytes = 16;
+    channel_.link().record_uplink(kSyncBytes);
+    proxy_.handle_sync(topic, channel_.device().queue_size(topic));
+  } else {
+    pending_sync_.try_emplace(topic);  // an empty read log still syncs size
+  }
+}
+
+std::vector<NotificationPtr> LastHopSession::user_read(
+    const std::string& topic) {
+  TopicState* state = proxy_.topic(topic);
+  if (state == nullptr) {
+    throw std::invalid_argument("user_read: unmanaged topic: " + topic);
+  }
+  const auto& options = state->config().options;
+  device::Device& device = channel_.device();
+
+  const bool online = channel_.link_up() && !device.battery_dead();
+  const PolicyKind kind = state->config().policy.kind;
+  const bool prefetching = kind == PolicyKind::kBufferPrefetch ||
+                           kind == PolicyKind::kRatePrefetch ||
+                           kind == PolicyKind::kAdaptive;
+  if (online) {
+    send_read(topic);
+  } else if (prefetching && !device.battery_dead()) {
+    // Log the offline read and defer a sync until the link recovers. Only
+    // prefetching policies do this: the deferred sync is how the proxy
+    // learns that buffer room opened (and what the user's true read cadence
+    // is). A *pure* on-demand topic transfers only what a live read
+    // explicitly pulls (its losses under outages are the paper's Figure 2),
+    // and an on-line topic has everything on the device already.
+    pending_sync_[topic].push_back(
+        ReadRecord{proxy_.simulator().now(), options.max});
+  }
+
+  // The user reads from the (possibly just replenished) device queue. The
+  // uplink energy cost is charged here when a request was sent.
+  auto read = device.read(topic, options.max, options.threshold,
+                          /*charge_uplink=*/online);
+  total_read_ += read.size();
+  return read;
+}
+
+}  // namespace waif::core

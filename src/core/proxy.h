@@ -1,0 +1,137 @@
+// The proxy: the fixed-infrastructure agent that collects notifications on
+// behalf of one mobile device and optimizes the last hop (Sections 2-3).
+//
+// A Proxy is a pubsub::Subscriber, so it plugs directly into a Broker or an
+// OverlayNode. Per topic it keeps a TopicState running the Figure-7
+// algorithm; Proxy itself only dispatches NOTIFICATION/READ/NETWORK events
+// and aggregates statistics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/forwarding_policy.h"
+#include "core/read_protocol.h"
+#include "core/topic_state.h"
+#include "net/link.h"
+#include "pubsub/notification.h"
+#include "pubsub/subscriber.h"
+#include "sim/simulator.h"
+
+namespace waif::core {
+
+struct ProxyStats {
+  std::uint64_t notifications = 0;
+  std::uint64_t unknown_topic_drops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t network_changes = 0;
+  std::uint64_t topics_withdrawn = 0;
+};
+
+class Proxy final : public pubsub::Subscriber {
+ public:
+  Proxy(sim::Simulator& sim, DeviceChannel& channel, std::string name = "proxy");
+
+  const std::string& name() const { return name_; }
+
+  /// Starts managing `topic` for the device with the given mode, volume
+  /// limits and forwarding policy. Throws std::invalid_argument when the
+  /// topic is already managed.
+  TopicState& add_topic(const std::string& topic, TopicConfig config);
+
+  /// Stops managing `topic`, dropping all queued state. Returns false when
+  /// the topic was not managed.
+  bool remove_topic(const std::string& topic);
+
+  /// The managed topic's state, or nullptr.
+  TopicState* topic(const std::string& topic);
+  const TopicState* topic(const std::string& topic) const;
+  std::size_t topic_count() const { return topics_.size(); }
+
+  /// Wires this proxy's NETWORK handler to the link's state changes.
+  /// Call once at setup.
+  void attach_to_link(net::Link& link);
+
+  // --- substrate side -------------------------------------------------------
+
+  void on_notification(const pubsub::NotificationPtr& notification) override;
+  void on_topic_withdrawn(const std::string& topic) override;
+
+  // --- device side ------------------------------------------------------
+
+  /// READ arriving from the device for one topic; returns the forwarded
+  /// difference. Throws std::invalid_argument for an unmanaged topic.
+  std::vector<pubsub::NotificationPtr> handle_read(const std::string& topic,
+                                                   const ReadRequest& request);
+
+  /// Queue-state sync from the device (sent at reconnection after offline
+  /// reads). Throws std::invalid_argument for an unmanaged topic.
+  void handle_sync(const std::string& topic, std::size_t queue_size,
+                   const std::vector<ReadRecord>& offline_reads = {});
+
+  /// NETWORK(status) for every managed topic.
+  void handle_network(net::LinkState status);
+
+  const ProxyStats& stats() const { return stats_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  DeviceChannel& channel_;
+  std::string name_;
+  // unique_ptr: TopicState is immovable (timers capture `this`).
+  std::unordered_map<std::string, std::unique_ptr<TopicState>> topics_;
+  ProxyStats stats_;
+};
+
+/// Ties a proxy and its device together to execute complete user reads: the
+/// uplink READ request (when the link allows), the proxy's difference
+/// forwarding, then the local device read. This is the piece of the last hop
+/// that lives on the device side in a deployment.
+///
+/// A read attempted during an outage is served from the device's local queue
+/// and the READ request is *deferred*: it is transmitted as soon as the link
+/// recovers, carrying the device's then-current queue contents. This is what
+/// corrects the proxy's drifting queue-size view after offline reads and
+/// lets prefetching refill the buffer (without it, the buffer would starve
+/// after two offline reads and prefetching would lose most of its value).
+class LastHopSession {
+ public:
+  /// Registers a link-state listener; construct after Proxy::attach_to_link
+  /// so the proxy forwards before the deferred READs are replayed.
+  LastHopSession(Proxy& proxy, SimDeviceChannel& channel);
+
+  /// One user read on `topic`: returns the notifications the user saw.
+  /// While the link is down the device serves the read from its local queue
+  /// only — exactly the situation prefetching exists for.
+  std::vector<pubsub::NotificationPtr> user_read(const std::string& topic);
+
+  /// Total messages the user has read through this session.
+  std::uint64_t total_read() const { return total_read_; }
+
+  /// Informs the proxy that the device's queue for `topic` changed outside a
+  /// read (e.g. a peer device pulled from this cache over the ad-hoc
+  /// network): syncs immediately when the link is up, else defers the sync
+  /// to the next reconnection.
+  void request_sync(const std::string& topic);
+
+  /// READs waiting for the link to recover.
+  std::size_t pending_syncs() const { return pending_sync_.size(); }
+
+ private:
+  /// Sends a READ for `topic` reflecting the device's current contents.
+  void send_read(const std::string& topic);
+
+  Proxy& proxy_;
+  SimDeviceChannel& channel_;
+  std::uint64_t total_read_ = 0;
+  /// Per topic: offline reads awaiting a deferred sync at reconnection.
+  std::map<std::string, std::vector<ReadRecord>> pending_sync_;
+};
+
+}  // namespace waif::core

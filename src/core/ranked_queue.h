@@ -1,0 +1,12 @@
+// The rank-ordered queue lives in pubsub (device buffers use it too); the
+// proxy's code and tests refer to it through this alias.
+#pragma once
+
+#include "pubsub/ranked_queue.h"
+
+namespace waif::core {
+
+using pubsub::RankedQueue;
+using pubsub::top_n_across;
+
+}  // namespace waif::core

@@ -1,0 +1,34 @@
+// The device -> proxy READ protocol (Section 3.5).
+//
+// "Essentially, a read is not a request for more data, but a request for
+// 'better' data if it exists": the device reports what it already holds and
+// the proxy forwards only the difference that improves the device's set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace waif::core {
+
+struct ReadRequest {
+  /// Number of items the user wants to read (usually the subscription Max).
+  int n = 0;
+  /// Messages currently in the queue on the client device, including any of
+  /// the n it is requesting.
+  std::size_t queue_size = 0;
+  /// Between 0 and n ids: the highest-ranked events already on the device.
+  std::vector<NotificationId> client_events;
+};
+
+/// One read the device performed while the link was down, reported to the
+/// proxy at reconnection so its moving averages (prefetch limit, expiration
+/// threshold, consumption rate) keep tracking the user's true behaviour.
+struct ReadRecord {
+  SimTime time = 0;
+  int n = 0;
+};
+
+}  // namespace waif::core

@@ -1,0 +1,158 @@
+#include "core/replication.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+
+namespace waif::core {
+
+using pubsub::NotificationPtr;
+
+ReplicatedProxy::ReplicatedProxy(sim::Simulator& sim, net::Link& link,
+                                 device::Device& device,
+                                 ReplicationConfig config)
+    : sim_(sim),
+      link_(link),
+      device_(device),
+      real_channel_(link, device),
+      config_(config) {
+  for (std::size_t i = 0; i < 2; ++i) {
+    replicas_[i].channel = std::make_unique<ReplicaChannel>(*this, i);
+    replicas_[i].proxy = std::make_unique<Proxy>(
+        sim_, *replicas_[i].channel,
+        i == 0 ? "replica-primary" : "replica-standby");
+  }
+  link_.on_state_change([this](net::LinkState state) {
+    if (state != net::LinkState::kUp) return;
+    // Wake the active replica, then flush device-side syncs to it.
+    active_proxy().handle_network(state);
+    flush_pending_syncs();
+  });
+}
+
+void ReplicatedProxy::add_topic(const std::string& topic, TopicConfig config) {
+  for (Replica& replica : replicas_) replica.proxy->add_topic(topic, config);
+  device_.set_topic_threshold(topic, config.options.threshold);
+}
+
+void ReplicatedProxy::on_notification(const NotificationPtr& notification) {
+  // Both replicas sit in the fixed infrastructure and receive the feed
+  // directly; a crashed replica is gone.
+  for (Replica& replica : replicas_) {
+    if (replica.alive) replica.proxy->on_notification(notification);
+  }
+}
+
+std::vector<NotificationPtr> ReplicatedProxy::user_read(
+    const std::string& topic) {
+  Proxy& proxy = active_proxy();
+  TopicState* state = proxy.topic(topic);
+  if (state == nullptr) {
+    throw std::invalid_argument("user_read: unmanaged topic: " + topic);
+  }
+  const auto& options = state->config().options;
+
+  const bool online = real_channel_.link_up() && !device_.battery_dead();
+  if (online) {
+    send_read(topic, *state);
+  } else if (!device_.battery_dead()) {
+    pending_sync_[topic].push_back(ReadRecord{sim_.now(), options.max});
+  }
+  return device_.read(topic, options.max, options.threshold,
+                      /*charge_uplink=*/online);
+}
+
+void ReplicatedProxy::send_read(const std::string& topic, TopicState& state) {
+  const auto& options = state.config().options;
+  ReadRequest request;
+  request.n = options.max;
+  request.queue_size = device_.queue_size(topic);
+  request.client_events = device_.top_ids(topic, options.max, options.threshold);
+  constexpr std::size_t kRequestHeaderBytes = 32;
+  constexpr std::size_t kBytesPerId = 8;
+  link_.record_uplink(kRequestHeaderBytes +
+                      kBytesPerId * request.client_events.size());
+  active_proxy().handle_read(topic, request);
+  replicate_read(active_, topic, request.queue_size,
+                 ReadRecord{sim_.now(), request.n});
+}
+
+void ReplicatedProxy::flush_pending_syncs() {
+  const auto pending = std::move(pending_sync_);
+  pending_sync_.clear();
+  for (const auto& [topic, offline_reads] : pending) {
+    Proxy& proxy = active_proxy();
+    if (proxy.topic(topic) == nullptr) continue;
+    constexpr std::size_t kSyncBytes = 16;
+    constexpr std::size_t kBytesPerRecord = 12;
+    link_.record_uplink(kSyncBytes + kBytesPerRecord * offline_reads.size());
+    const std::size_t queue_size = device_.queue_size(topic);
+    proxy.handle_sync(topic, queue_size, offline_reads);
+    for (const ReadRecord& record : offline_reads) {
+      replicate_read(active_, topic, queue_size, record);
+    }
+  }
+}
+
+void ReplicatedProxy::replicate_forward(std::size_t from,
+                                        const NotificationPtr& notification) {
+  const std::size_t peer_index = 1 - from;
+  if (!replicas_[peer_index].alive) return;
+  ++stats_.replicated_forwards;
+  sim_.schedule_after(config_.replication_latency, [this, peer_index,
+                                                    notification] {
+    Replica& peer = replicas_[peer_index];
+    if (!peer.alive) return;
+    if (active_ == peer_index) {
+      // The record chased a replica that has already been promoted.
+      ++stats_.late_records;
+    }
+    if (TopicState* state = peer.proxy->topic(notification->topic)) {
+      state->apply_replicated_forward(notification);
+    }
+  });
+}
+
+void ReplicatedProxy::replicate_read(std::size_t from, const std::string& topic,
+                                     std::size_t queue_size,
+                                     const ReadRecord& record) {
+  const std::size_t peer_index = 1 - from;
+  if (!replicas_[peer_index].alive) return;
+  ++stats_.replicated_reads;
+  sim_.schedule_after(
+      config_.replication_latency,
+      [this, peer_index, topic, queue_size, record] {
+        Replica& peer = replicas_[peer_index];
+        if (!peer.alive) return;
+        if (active_ == peer_index) ++stats_.late_records;
+        if (peer.proxy->topic(topic) != nullptr) {
+          peer.proxy->handle_sync(topic, queue_size, {record});
+        }
+      });
+}
+
+void ReplicatedProxy::fail_active() {
+  Replica& failed = replicas_[active_];
+  WAIF_CHECK(failed.alive);
+  const std::size_t survivor = 1 - active_;
+  if (!replicas_[survivor].alive) {
+    throw std::logic_error("fail_active: no replica left to promote");
+  }
+  failed.alive = false;
+  active_ = survivor;
+  ++stats_.failovers;
+  // The promoted replica starts forwarding immediately if the link allows;
+  // anything the old active forwarded but did not replicate in time will be
+  // sent again (duplicate receives on the device).
+  replicas_[survivor].proxy->handle_network(
+      link_.is_up() ? net::LinkState::kUp : net::LinkState::kDown);
+}
+
+std::size_t ReplicatedProxy::live_replicas() const {
+  std::size_t live = 0;
+  for (const Replica& replica : replicas_) live += replica.alive ? 1 : 0;
+  return live;
+}
+
+}  // namespace waif::core

@@ -1,0 +1,131 @@
+// Proxy replication (the paper's second future-work item, Section 4): "to
+// avoid making the proxy a single point of failure, we will consider
+// approaches to replicating it."
+//
+// A ReplicatedProxy runs two warm replicas. Both receive every notification
+// from the routing substrate (they are both in the fixed infrastructure), so
+// their queues track each other; only the *active* replica forwards over the
+// last hop. The active replica asynchronously replicates two kinds of state
+// the standby cannot observe on its own:
+//   - forward records ("id X is on the device"), captured by intercepting
+//     the device channel;
+//   - read records (queue size + read log), captured from READ/sync traffic.
+// Replication is asynchronous with a configurable latency, so a failover can
+// lose in-flight records; the promoted replica then re-forwards a few
+// messages the device already holds — visible as duplicate receives, the
+// price of asynchrony.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/forwarding_policy.h"
+#include "core/proxy.h"
+#include "core/read_protocol.h"
+#include "device/device.h"
+#include "net/link.h"
+#include "pubsub/subscriber.h"
+#include "sim/simulator.h"
+
+namespace waif::core {
+
+struct ReplicationConfig {
+  /// One-way delay of the replication channel between the replicas.
+  SimDuration replication_latency = 50 * kMillisecond;
+};
+
+struct ReplicationStats {
+  std::uint64_t replicated_forwards = 0;
+  std::uint64_t replicated_reads = 0;
+  std::uint64_t failovers = 0;
+  /// Replication records that arrived at a replica after it had already
+  /// been promoted (the asynchrony window made them redundant-or-late).
+  std::uint64_t late_records = 0;
+};
+
+/// Two-replica proxy with manual failover. Subscribe the ReplicatedProxy
+/// itself at the broker; it relays notifications to every live replica.
+class ReplicatedProxy final : public pubsub::Subscriber {
+ public:
+  ReplicatedProxy(sim::Simulator& sim, net::Link& link, device::Device& device,
+                  ReplicationConfig config = {});
+
+  /// Configures a topic on both replicas and registers the device-side
+  /// threshold for retraction handling.
+  void add_topic(const std::string& topic, TopicConfig config);
+
+  // --- substrate side -------------------------------------------------------
+  void on_notification(const pubsub::NotificationPtr& notification) override;
+
+  // --- device side -----------------------------------------------------------
+  /// One user read, served by the active replica (deferring a sync while the
+  /// link is down, like LastHopSession).
+  std::vector<pubsub::NotificationPtr> user_read(const std::string& topic);
+
+  // --- failure injection -----------------------------------------------------
+  /// Crashes the active replica and promotes the standby. The crashed
+  /// replica stops receiving notifications and never comes back.
+  void fail_active();
+
+  bool primary_is_active() const { return active_ == 0; }
+  /// Live replicas remaining (2, then 1 after a failover).
+  std::size_t live_replicas() const;
+
+  Proxy& active_proxy() { return *replicas_[active_].proxy; }
+  Proxy& standby_proxy() { return *replicas_[1 - active_].proxy; }
+
+  const ReplicationStats& stats() const { return stats_; }
+
+ private:
+  /// Channel wrapper: only the active replica's channel passes traffic; every
+  /// successful delivery is captured for replication.
+  class ReplicaChannel final : public DeviceChannel {
+   public:
+    ReplicaChannel(ReplicatedProxy& owner, std::size_t index)
+        : owner_(owner), index_(index) {}
+
+    bool link_up() const override {
+      return owner_.active_ == index_ && owner_.real_channel_.link_up();
+    }
+    bool deliver(const pubsub::NotificationPtr& notification) override {
+      const bool accepted = owner_.real_channel_.deliver(notification);
+      owner_.replicate_forward(index_, notification);
+      return accepted;
+    }
+
+   private:
+    ReplicatedProxy& owner_;
+    std::size_t index_;
+  };
+
+  struct Replica {
+    std::unique_ptr<ReplicaChannel> channel;
+    std::unique_ptr<Proxy> proxy;
+    bool alive = true;
+  };
+
+  void replicate_forward(std::size_t from,
+                         const pubsub::NotificationPtr& notification);
+  void replicate_read(std::size_t from, const std::string& topic,
+                      std::size_t queue_size, const ReadRecord& record);
+  void send_read(const std::string& topic, TopicState& state);
+  void flush_pending_syncs();
+
+  sim::Simulator& sim_;
+  net::Link& link_;
+  device::Device& device_;
+  SimDeviceChannel real_channel_;
+  ReplicationConfig config_;
+  Replica replicas_[2];
+  std::size_t active_ = 0;
+  /// Device-side log of offline reads per topic (survives failovers: it
+  /// lives on the device, not on a proxy).
+  std::map<std::string, std::vector<ReadRecord>> pending_sync_;
+  ReplicationStats stats_;
+};
+
+}  // namespace waif::core

@@ -1,0 +1,521 @@
+#include "core/topic_state.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace waif::core {
+
+using pubsub::NotificationPtr;
+using pubsub::RankHigher;
+
+TopicState::TopicState(sim::Simulator& sim, DeviceChannel& channel,
+                       std::string topic, TopicConfig config,
+                       std::size_t history_limit)
+    : sim_(sim),
+      channel_(channel),
+      topic_(std::move(topic)),
+      config_(config),
+      history_limit_(history_limit),
+      old_reads_(config.policy.moving_average_window),
+      read_times_(config.policy.moving_average_window),
+      exp_times_(config.policy.moving_average_window),
+      arrival_times_(config.policy.moving_average_window) {
+  WAIF_CHECK(history_limit > 0);
+  WAIF_CHECK(config.options.max > 0);
+  for (const QuietWindow& window : config_.refinements.quiet_windows) {
+    WAIF_CHECK(window.start >= 0 && window.start < kDay);
+    WAIF_CHECK(window.end > window.start && window.end <= kDay);
+  }
+  if (config_.mode == DeliveryMode::kOnLine) {
+    for (SimDuration time_of_day : config_.refinements.digest_times) {
+      WAIF_CHECK(time_of_day >= 0 && time_of_day < kDay);
+      schedule_digest(time_of_day);
+    }
+  }
+}
+
+TopicState::~TopicState() {
+  for (auto& [id, timer] : expiration_timers_) timer.cancel();
+  for (auto& [id, delayed] : pending_delay_) delayed.timer.cancel();
+  for (sim::EventHandle& timer : digest_timers_) timer.cancel();
+  gate_wake_.cancel();
+}
+
+// --------------------------------------------------------------- NOTIFICATION
+
+void TopicState::handle_notification(const NotificationPtr& event) {
+  ++stats_.arrivals;
+  if (event->expired_at(sim_.now())) {
+    // E.g. a rank update routed for an event that just expired; any queued
+    // copy has already been purged by the expiration timer.
+    ++stats_.expired_on_arrival;
+    return;
+  }
+  const bool was_known = known(event->id);
+  if (was_known) ++stats_.rank_update_arrivals;
+
+  const double threshold = config_.options.threshold;
+  if (event->rank < threshold) {
+    if (was_known) {
+      // Rank has been lowered below the threshold (Figure 7, first branch):
+      // withdraw it from the prefetch pipeline.
+      holding_.erase(event->id);
+      prefetch_.erase(event->id);
+      if (auto it = pending_delay_.find(event->id.value);
+          it != pending_delay_.end()) {
+        it->second.timer.cancel();
+        pending_delay_.erase(it);
+        ++stats_.delay_drops;
+      }
+      if (forwarded_.contains(event->id.value)) {
+        outgoing_.insert(event);  // tell the client of the rank drop
+      } else {
+        outgoing_.erase(event->id);  // don't bother the client
+      }
+    } else {
+      ++stats_.below_threshold_drops;
+    }
+  } else {
+    // Rank is above (or at) the threshold.
+    if (config_.mode == DeliveryMode::kOnLine ||
+        config_.policy.kind == PolicyKind::kOnline) {
+      outgoing_.insert(event);  // send to client ASAP
+    } else if (event->rank >= config_.refinements.interrupt_threshold &&
+               !forwarded_.contains(event->id.value)) {
+      // Hybrid model (Section 2.2): an on-demand topic interrupts for events
+      // important enough (the tornado warning on a weather topic).
+      track_expiration(event);
+      holding_.erase(event->id);
+      prefetch_.erase(event->id);
+      outgoing_.insert(event);
+      ++stats_.interrupts;
+    } else {
+      if (!was_known || !refresh_known(event)) {
+        place_on_demand(event, was_known);
+      }
+      if (config_.policy.kind == PolicyKind::kRatePrefetch && !was_known) {
+        rate_credit_ += current_ratio();
+      }
+    }
+  }
+
+  if (!was_known) {
+    arrival_times_.add(to_seconds(sim_.now()));
+  }
+  record_history(event);  // record all events
+  try_forwarding();
+}
+
+void TopicState::track_expiration(const NotificationPtr& event) {
+  if (!event->expires()) return;
+  exp_times_.add(to_seconds(event->remaining_lifetime(sim_.now())));
+  // schedule(&expiration_timeout, event.expires, event)
+  if (auto it = expiration_timers_.find(event->id.value);
+      it != expiration_timers_.end()) {
+    it->second.cancel();
+    expiration_timers_.erase(it);
+  }
+  const NotificationId id = event->id;
+  expiration_timers_.emplace(
+      id.value,
+      sim_.schedule_at(event->expires_at, [this, id] { on_expiration(id); }));
+}
+
+void TopicState::place_on_demand(const NotificationPtr& event, bool known_id) {
+  track_expiration(event);
+
+  const SimDuration threshold = effective_expiration_threshold();
+  if (event->expires() &&
+      event->remaining_lifetime(sim_.now()) < threshold) {
+    holding_.insert(event);
+    ++stats_.held;
+  } else if (config_.policy.delay > 0 && !known_id) {
+    // Delay stage (Section 3.4): give rank drops time to arrive before the
+    // event becomes prefetchable.
+    const NotificationId id = event->id;
+    auto timer = sim_.schedule_after(config_.policy.delay,
+                                     [this, id] { on_delay_elapsed(id); });
+    pending_delay_.insert_or_assign(id.value,
+                                    DelayedEvent{event, std::move(timer)});
+    ++stats_.delayed;
+  } else {
+    prefetch_.insert(event);
+  }
+}
+
+bool TopicState::refresh_known(const NotificationPtr& event) {
+  if (outgoing_.contains(event->id)) {
+    outgoing_.insert(event);  // replace with the re-ranked copy
+    return true;
+  }
+  if (holding_.contains(event->id)) {
+    holding_.insert(event);
+    return true;
+  }
+  if (prefetch_.contains(event->id)) {
+    prefetch_.insert(event);
+    return true;
+  }
+  if (auto it = pending_delay_.find(event->id.value);
+      it != pending_delay_.end()) {
+    it->second.event = event;  // the delay stage will release the new copy
+    return true;
+  }
+  if (forwarded_.contains(event->id.value)) {
+    // Already on the device: push the new rank so the device reorders.
+    outgoing_.insert(event);
+    return true;
+  }
+  return false;  // known id, but expired/garbage-collected: place afresh
+}
+
+// ----------------------------------------------------------------------- READ
+
+std::vector<NotificationPtr> TopicState::handle_read(const ReadRequest& request) {
+  WAIF_CHECK(request.n >= 0);
+  ++stats_.read_requests;
+
+  // topic.old_reads ∪ N ; prefetch_limit = moving_average(old_reads) * 2
+  old_reads_.add(static_cast<double>(request.n));
+  // topic.old_times ∪ gettimeofday(); expiration_threshold =
+  //   moving_average_difference(old_times)
+  read_times_.add(to_seconds(sim_.now()));
+  // topic.queue_size = queue_size  (the proxy's drifting view is corrected)
+  queue_size_view_ = request.queue_size;
+
+  // best = get_highest_ranked(N, outgoing ∪ prefetch ∪ holding)
+  const double threshold = config_.options.threshold;
+  auto best = top_n_across({&outgoing_, &prefetch_, &holding_}, request.n,
+                           threshold);
+
+  // difference = get_highest_ranked(N, best ∪ client_events) \ client_events.
+  // The client sends only ids; ranks for them come from our history (the
+  // proxy has seen every event it ever forwarded). Unknown ids — evicted from
+  // history — are treated as top-ranked, which can only make us forward less.
+  struct Candidate {
+    double rank;
+    SimTime published_at;
+    std::uint64_t id;
+    NotificationPtr event;  // null for client-held entries
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(best.size() + request.client_events.size());
+  for (const NotificationPtr& event : best) {
+    candidates.push_back(
+        {event->rank, event->published_at, event->id.value, event});
+  }
+  for (NotificationId id : request.client_events) {
+    // Skip duplicates: an id both on the client and in our queues competes
+    // as the client's copy (no transfer needed).
+    std::erase_if(candidates,
+                  [&](const Candidate& c) { return c.id == id.value; });
+    const auto rank = history_rank(id);
+    candidates.push_back({rank.value_or(pubsub::kMaxRank), 0, id.value, nullptr});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.rank != b.rank) return a.rank > b.rank;
+              if (a.published_at != b.published_at)
+                return a.published_at > b.published_at;
+              return a.id > b.id;
+            });
+
+  std::vector<NotificationPtr> difference;
+  for (std::size_t i = 0;
+       i < candidates.size() && i < static_cast<std::size_t>(request.n); ++i) {
+    if (candidates[i].event != nullptr) difference.push_back(candidates[i].event);
+  }
+
+  // q.outgoing ← q.outgoing ∪ difference. We also remove the events from
+  // prefetch/holding so a later prefetch pass cannot transfer them twice
+  // (the pseudo-code's set notation leaves them behind).
+  for (const NotificationPtr& event : difference) {
+    prefetch_.erase(event->id);
+    holding_.erase(event->id);
+    outgoing_.insert(event);
+  }
+  stats_.read_difference_forwards += difference.size();
+
+  try_forwarding();
+  return difference;
+}
+
+void TopicState::handle_sync(std::size_t queue_size,
+                             const std::vector<ReadRecord>& offline_reads) {
+  ++stats_.sync_requests;
+  for (const ReadRecord& record : offline_reads) {
+    old_reads_.add(static_cast<double>(record.n));
+    read_times_.add(to_seconds(record.time));
+  }
+  queue_size_view_ = queue_size;
+  try_forwarding();
+}
+
+// -------------------------------------------------------------------- NETWORK
+
+void TopicState::handle_network(net::LinkState status) {
+  if (status == net::LinkState::kUp) try_forwarding();
+}
+
+// ------------------------------------------------------------- try_forwarding
+
+void TopicState::try_forwarding() {
+  if (!channel_.link_up()) return;
+
+  // First empty the outgoing queue — unless a Section 2.2 gate (quiet
+  // window, digest schedule, daily budget) holds an on-line topic back.
+  while (!outgoing_.empty()) {
+    if (online_delivery_gated()) {
+      schedule_gate_wake();
+      break;
+    }
+    const bool digest = in_digest_;
+    if (do_forward(outgoing_.pop_top(), &TopicStats::outgoing_forwards) &&
+        digest) {
+      ++stats_.digest_deliveries;
+    }
+  }
+
+  // Then see if anything should be prefetched.
+  switch (config_.policy.kind) {
+    case PolicyKind::kOnline:
+    case PolicyKind::kOnDemand:
+      break;  // nothing beyond outgoing
+    case PolicyKind::kBufferPrefetch:
+    case PolicyKind::kAdaptive: {
+      const std::size_t limit = effective_prefetch_limit();
+      while (queue_size_view_ < limit && !prefetch_.empty()) {
+        do_forward(prefetch_.pop_top(), &TopicStats::prefetch_forwards);
+      }
+      break;
+    }
+    case PolicyKind::kRatePrefetch:
+      while (rate_credit_ >= 1.0 && !prefetch_.empty()) {
+        rate_credit_ -= 1.0;
+        do_forward(prefetch_.pop_top(), &TopicStats::prefetch_forwards);
+      }
+      break;
+  }
+}
+
+bool TopicState::do_forward(const NotificationPtr& event,
+                            std::uint64_t TopicStats::* counter) {
+  if (event->expired_at(sim_.now())) {
+    ++stats_.expired_at_proxy;
+    return false;
+  }
+  const bool repeat = forwarded_.contains(event->id.value);
+  channel_.deliver(event);
+  ++stats_.forwarded;
+  stats_.*counter += 1;
+  if (repeat) ++stats_.rank_change_notices;
+  ++queue_size_view_;
+  forwarded_.insert(event->id.value);
+  if (config_.mode == DeliveryMode::kOnLine) {
+    roll_day();
+    ++forwarded_today_;
+  }
+  return true;
+}
+
+// ------------------------------------------------- Section 2.2 refinements
+
+void TopicState::roll_day() {
+  const std::int64_t day = sim_.now() / kDay;
+  if (day != current_day_) {
+    current_day_ = day;
+    forwarded_today_ = 0;
+  }
+}
+
+std::size_t TopicState::forwarded_today() {
+  roll_day();
+  return forwarded_today_;
+}
+
+bool TopicState::online_delivery_gated() {
+  if (config_.mode != DeliveryMode::kOnLine) return false;
+  const DeliveryRefinements& refinements = config_.refinements;
+  const SimDuration time_of_day = sim_.now() % kDay;
+  for (const QuietWindow& window : refinements.quiet_windows) {
+    if (time_of_day >= window.start && time_of_day < window.end) return true;
+  }
+  if (!refinements.digest_times.empty() && !in_digest_) return true;
+  if (refinements.max_per_day > 0 &&
+      forwarded_today() >= refinements.max_per_day) {
+    return true;
+  }
+  return false;
+}
+
+void TopicState::schedule_gate_wake() {
+  if (gate_wake_.active()) return;
+  const DeliveryRefinements& refinements = config_.refinements;
+  const SimTime day_start = (sim_.now() / kDay) * kDay;
+  const SimDuration time_of_day = sim_.now() % kDay;
+  SimTime wake = kNever;
+  for (const QuietWindow& window : refinements.quiet_windows) {
+    if (time_of_day >= window.start && time_of_day < window.end) {
+      wake = std::min(wake, day_start + window.end);
+    }
+  }
+  if (refinements.max_per_day > 0 &&
+      forwarded_today() >= refinements.max_per_day) {
+    wake = std::min(wake, day_start + kDay);
+  }
+  // A digest gate needs no wake: the digest timers fire on their own.
+  if (wake == kNever) return;
+  gate_wake_ = sim_.schedule_at(wake, [this] { try_forwarding(); });
+}
+
+void TopicState::schedule_digest(SimDuration time_of_day) {
+  const SimTime day_start = (sim_.now() / kDay) * kDay;
+  SimTime next = day_start + time_of_day;
+  if (next <= sim_.now()) next += kDay;
+  // One live timer per digest instant; each firing re-arms itself. Handles
+  // of already-fired timers are pruned so the vector stays small.
+  std::erase_if(digest_timers_,
+                [](const sim::EventHandle& handle) { return !handle.active(); });
+  digest_timers_.push_back(sim_.schedule_at(next, [this, time_of_day] {
+    in_digest_ = true;
+    try_forwarding();
+    in_digest_ = false;
+    schedule_digest(time_of_day);
+  }));
+}
+
+void TopicState::apply_replicated_forward(const NotificationPtr& event) {
+  outgoing_.erase(event->id);
+  prefetch_.erase(event->id);
+  holding_.erase(event->id);
+  if (auto it = pending_delay_.find(event->id.value);
+      it != pending_delay_.end()) {
+    it->second.timer.cancel();
+    pending_delay_.erase(it);
+  }
+  forwarded_.insert(event->id.value);
+  ++queue_size_view_;
+  record_history(event);
+}
+
+// ------------------------------------------------------------------- timeouts
+
+void TopicState::on_expiration(NotificationId id) {
+  expiration_timers_.erase(id.value);
+  bool removed = false;
+  removed |= holding_.erase(id) != nullptr;
+  removed |= prefetch_.erase(id) != nullptr;
+  removed |= outgoing_.erase(id) != nullptr;
+  if (auto it = pending_delay_.find(id.value); it != pending_delay_.end()) {
+    it->second.timer.cancel();
+    pending_delay_.erase(it);
+    removed = true;
+  }
+  if (removed) ++stats_.expired_at_proxy;
+}
+
+void TopicState::on_delay_elapsed(NotificationId id) {
+  auto it = pending_delay_.find(id.value);
+  if (it == pending_delay_.end()) return;
+  NotificationPtr event = std::move(it->second.event);
+  pending_delay_.erase(it);
+  if (event->expired_at(sim_.now())) {
+    ++stats_.expired_at_proxy;
+    return;
+  }
+  prefetch_.insert(event);
+  try_forwarding();
+}
+
+// ------------------------------------------------------------ adaptive state
+
+std::size_t TopicState::effective_prefetch_limit() const {
+  switch (config_.policy.kind) {
+    case PolicyKind::kOnline:
+      return std::numeric_limits<std::size_t>::max();
+    case PolicyKind::kOnDemand:
+    case PolicyKind::kRatePrefetch:
+      return 0;
+    case PolicyKind::kBufferPrefetch:
+      return config_.policy.prefetch_limit;
+    case PolicyKind::kAdaptive: {
+      if (old_reads_.empty()) return config_.policy.initial_prefetch_limit;
+      const double limit =
+          old_reads_.value() * config_.policy.prefetch_limit_factor;
+      return static_cast<std::size_t>(limit + 0.5);
+    }
+  }
+  return 0;
+}
+
+SimDuration TopicState::effective_expiration_threshold() const {
+  if (config_.policy.kind != PolicyKind::kAdaptive) {
+    return config_.policy.expiration_threshold;
+  }
+  const auto interval = read_times_.value();
+  if (!interval.has_value()) return config_.policy.expiration_threshold;
+  const SimDuration adaptive = seconds(*interval);
+  if (config_.policy.auto_threshold_safety > 0.0) {
+    // Section 3.3: the automatic threshold is only safe when events live an
+    // order of magnitude longer than the interval between reads.
+    const double avg_exp = static_cast<double>(average_lifetime());
+    if (avg_exp <= config_.policy.auto_threshold_safety *
+                       static_cast<double>(adaptive)) {
+      return config_.policy.expiration_threshold;
+    }
+  }
+  return adaptive;
+}
+
+SimDuration TopicState::average_lifetime() const {
+  return seconds(exp_times_.value());
+}
+
+std::optional<SimDuration> TopicState::average_read_interval() const {
+  const auto interval = read_times_.value();
+  if (!interval.has_value()) return std::nullopt;
+  return seconds(*interval);
+}
+
+double TopicState::current_ratio() const {
+  if (config_.policy.rate_ratio > 0.0) return config_.policy.rate_ratio;
+  const auto read_interval = read_times_.value();
+  const auto arrival_interval = arrival_times_.value();
+  if (!read_interval.has_value() || !arrival_interval.has_value() ||
+      *read_interval <= 0.0 || old_reads_.empty()) {
+    return 0.0;
+  }
+  const double consumption = old_reads_.value() / *read_interval;  // msgs/s
+  if (*arrival_interval <= 0.0) return 1.0;
+  const double production = 1.0 / *arrival_interval;  // msgs/s
+  if (production <= 0.0) return 1.0;
+  return std::min(consumption / production, 1.0);
+}
+
+// ------------------------------------------------------------------- history
+
+void TopicState::record_history(const NotificationPtr& event) {
+  auto [it, inserted] = history_.try_emplace(event->id.value, event);
+  if (!inserted) {
+    it->second = event;  // keep the latest rank
+    return;
+  }
+  history_order_.push_back(event->id.value);
+  if (history_order_.size() > history_limit_) {
+    // The "garbage collection" the paper's pseudo-code omits.
+    history_.erase(history_order_.front());
+    history_order_.pop_front();
+  }
+}
+
+std::optional<double> TopicState::history_rank(NotificationId id) const {
+  auto it = history_.find(id.value);
+  if (it == history_.end()) return std::nullopt;
+  return it->second->rank;
+}
+
+}  // namespace waif::core

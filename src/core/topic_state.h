@@ -1,0 +1,218 @@
+// Per-topic last-hop scheduling state — the paper's Figure 7 made concrete.
+//
+// One TopicState manages one topic for one device. It owns the three queues
+// of the paper's pseudo-code:
+//   outgoing — events that must be forwarded as soon as possible;
+//   prefetch — events that passed the expiration check and the delay stage,
+//              okay to push whenever the device has buffer room;
+//   holding  — events expiring too soon to be worth prefetching; still
+//              available to explicit reads.
+// plus the adaptive state: the moving average of read sizes (driving the
+// prefetch limit), the moving average interval between reads (driving the
+// expiration threshold) and the moving average of event lifetimes.
+//
+// Entry points mirror the paper exactly: handle_notification() is
+// NOTIFICATION, handle_read() is READ, handle_network() is NETWORK, and
+// try_forwarding()/expiration/delay timeouts are the auxiliary routines.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/moving_stats.h"
+#include "common/time.h"
+#include "core/channel.h"
+#include "core/forwarding_policy.h"
+#include "core/ranked_queue.h"
+#include "core/read_protocol.h"
+#include "net/link.h"
+#include "pubsub/notification.h"
+#include "sim/simulator.h"
+
+namespace waif::core {
+
+struct TopicStats {
+  std::uint64_t arrivals = 0;              // NOTIFICATION invocations
+  std::uint64_t rank_update_arrivals = 0;  // id already known (Section 3.4)
+  std::uint64_t below_threshold_drops = 0; // fresh sub-threshold arrivals
+  std::uint64_t forwarded = 0;             // downlink transfers
+  std::uint64_t prefetch_forwards = 0;
+  std::uint64_t outgoing_forwards = 0;
+  std::uint64_t read_difference_forwards = 0;
+  std::uint64_t rank_change_notices = 0;   // re-sends of already-forwarded ids
+  std::uint64_t read_requests = 0;
+  std::uint64_t sync_requests = 0;         // deferred offline-read syncs
+  std::uint64_t expired_at_proxy = 0;      // expired while queued here
+  std::uint64_t expired_on_arrival = 0;    // already expired when delivered
+  std::uint64_t held = 0;                  // entered the holding queue
+  std::uint64_t delayed = 0;               // entered the delay stage
+  std::uint64_t delay_drops = 0;           // removed from the delay stage by a rank drop
+  std::uint64_t interrupts = 0;            // on-demand events that interrupted
+  std::uint64_t digest_deliveries = 0;     // forwarded from a digest instant
+};
+
+class TopicState {
+ public:
+  TopicState(sim::Simulator& sim, DeviceChannel& channel, std::string topic,
+             TopicConfig config, std::size_t history_limit = 1 << 16);
+
+  TopicState(const TopicState&) = delete;
+  TopicState& operator=(const TopicState&) = delete;
+
+  /// Cancels every timer this state scheduled (expiration, delay, digest,
+  /// gate wake-ups), so removing a topic mid-run is safe.
+  ~TopicState();
+
+  const std::string& topic() const { return topic_; }
+  const TopicConfig& config() const { return config_; }
+  const TopicStats& stats() const { return stats_; }
+
+  // --- the paper's three main routines -------------------------------------
+
+  /// NOTIFICATION(event): a new outside event, or a re-ranked copy of a known
+  /// one, arrives from the routing substrate.
+  void handle_notification(const pubsub::NotificationPtr& event);
+
+  /// READ(N, queue_size, client_events): the user triggered a read on the
+  /// device and the link carried the request here. Returns the `difference`
+  /// set that was moved to outgoing and forwarded — the events the device
+  /// lacked.
+  std::vector<pubsub::NotificationPtr> handle_read(const ReadRequest& request);
+
+  /// Queue-state sync from the device: after reads performed while the link
+  /// was down, the device reports its true queue size and the log of offline
+  /// reads at reconnection. This corrects the drifting queue_size view so
+  /// prefetching can refill the buffer, and trains the same moving averages
+  /// a live READ would — but unlike READ it pulls no data.
+  void handle_sync(std::size_t queue_size,
+                   const std::vector<ReadRecord>& offline_reads = {});
+
+  /// NETWORK(status): the last hop changed state.
+  void handle_network(net::LinkState status);
+
+  /// Drains outgoing, then prefetches within the policy's budget. Callable
+  /// any time; a no-op while the link is down.
+  void try_forwarding();
+
+  /// Replication support: records that a peer replica already transferred
+  /// `event` to the device — marks it forwarded, drops any queued copy and
+  /// bumps the queue-size view — without touching this replica's channel.
+  void apply_replicated_forward(const pubsub::NotificationPtr& event);
+
+  // --- adaptive state, exposed for tests/benches ---------------------------
+
+  /// Effective prefetch limit right now (policy-dependent).
+  std::size_t effective_prefetch_limit() const;
+  /// Effective expiration threshold right now (policy-dependent).
+  SimDuration effective_expiration_threshold() const;
+  /// Moving average of event lifetimes (topic.avg_exp), in sim duration.
+  SimDuration average_lifetime() const;
+  /// Moving average interval between reads, if two reads have been seen.
+  std::optional<SimDuration> average_read_interval() const;
+  /// Consumption/production ratio used by the rate-based policy.
+  double current_ratio() const;
+
+  /// On-line deliveries made today (Section 2.2 max_per_day budget).
+  std::size_t forwarded_today();
+  /// True when the Section 2.2 refinements currently hold back on-line
+  /// deliveries (quiet window, digest mode between instants, or an exhausted
+  /// daily budget).
+  bool online_delivery_gated();
+
+  std::size_t outgoing_size() const { return outgoing_.size(); }
+  std::size_t prefetch_size() const { return prefetch_.size(); }
+  std::size_t holding_size() const { return holding_.size(); }
+  std::size_t delay_stage_size() const { return pending_delay_.size(); }
+  /// The proxy's (possibly stale) view of the device queue size.
+  std::size_t queue_size_view() const { return queue_size_view_; }
+  bool was_forwarded(NotificationId id) const {
+    return forwarded_.contains(id.value);
+  }
+  /// Distinct notification ids ever transferred to the device.
+  std::size_t forwarded_unique() const { return forwarded_.size(); }
+
+ private:
+  struct DelayedEvent {
+    pubsub::NotificationPtr event;  // latest copy (rank updates refresh it)
+    sim::EventHandle timer;
+  };
+
+  /// Fresh or re-ranked event with rank >= threshold on an on-demand topic:
+  /// route through expiration check -> delay stage -> prefetch queue.
+  void place_on_demand(const pubsub::NotificationPtr& event, bool known);
+
+  /// Resets the daily delivery budget when the day rolls over.
+  void roll_day();
+  /// Schedules a try_forwarding wake-up when a delivery gate will lift
+  /// (quiet-window end or next-day budget reset).
+  void schedule_gate_wake();
+  /// Arms the daily timer for one digest instant (time of day).
+  void schedule_digest(SimDuration time_of_day);
+  /// Registers expiration bookkeeping (average, timer) for an event.
+  void track_expiration(const pubsub::NotificationPtr& event);
+
+  /// A known event was re-ranked (still above threshold): refresh whichever
+  /// stage holds it, or notify the device if it was already forwarded.
+  /// Returns false when the event is in no stage (fall through to fresh
+  /// placement).
+  bool refresh_known(const pubsub::NotificationPtr& event);
+
+  /// expiration_timeout(event): purge an expired event from every queue.
+  void on_expiration(NotificationId id);
+
+  /// delay_timeout(event): the delay stage released an event to prefetch.
+  void on_delay_elapsed(NotificationId id);
+
+  /// Transfers one event over the channel and updates the bookkeeping.
+  /// Returns false when the event was dropped instead (expired).
+  bool do_forward(const pubsub::NotificationPtr& event,
+                  std::uint64_t TopicStats::* counter);
+
+  void record_history(const pubsub::NotificationPtr& event);
+  bool known(NotificationId id) const { return history_.contains(id.value); }
+  /// Latest rank the proxy has seen for a (possibly device-held) id.
+  std::optional<double> history_rank(NotificationId id) const;
+
+  sim::Simulator& sim_;
+  DeviceChannel& channel_;
+  std::string topic_;
+  TopicConfig config_;
+  std::size_t history_limit_;
+
+  RankedQueue outgoing_;
+  RankedQueue prefetch_;
+  RankedQueue holding_;
+  std::unordered_map<std::uint64_t, DelayedEvent> pending_delay_;
+
+  /// topic.history: every event seen, id -> latest copy (bounded FIFO).
+  std::unordered_map<std::uint64_t, pubsub::NotificationPtr> history_;
+  std::deque<std::uint64_t> history_order_;
+  /// topic.forwarded: ids ever sent to the device.
+  std::unordered_set<std::uint64_t> forwarded_;
+  /// Pending expiration timers, cancelled when an event leaves all queues.
+  std::unordered_map<std::uint64_t, sim::EventHandle> expiration_timers_;
+
+  MovingAverage old_reads_;        // sizes (N) of recent reads
+  IntervalAverage read_times_;     // -> average interval between reads
+  MovingAverage exp_times_;        // lifetimes of recent expiring events
+  IntervalAverage arrival_times_;  // -> arrival rate, for the rate policy
+
+  std::size_t queue_size_view_ = 0;
+  double rate_credit_ = 0.0;
+
+  // Section 2.2 refinement state.
+  std::int64_t current_day_ = 0;
+  std::size_t forwarded_today_ = 0;
+  bool in_digest_ = false;
+  sim::EventHandle gate_wake_;
+  std::vector<sim::EventHandle> digest_timers_;
+
+  TopicStats stats_;
+};
+
+}  // namespace waif::core

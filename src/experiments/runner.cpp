@@ -1,0 +1,158 @@
+#include "experiments/runner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/moving_stats.h"
+#include "core/channel.h"
+#include "pubsub/broker.h"
+#include "pubsub/publisher.h"
+#include "sim/simulator.h"
+
+namespace waif::experiments {
+
+double RunOutcome::waste_percent() const {
+  return metrics::waste_percent(forwarded_unique, read_ids.size());
+}
+
+RunOutcome run_trace(const workload::Trace& trace,
+                     const workload::ScenarioConfig& config,
+                     const core::PolicyConfig& policy,
+                     const DeviceOverrides& device_overrides) {
+  sim::Simulator sim;
+
+  // Broker history must be able to hold the whole run so late rank changes
+  // can still find their original (the paper's GC concern does not bind at
+  // this scale).
+  pubsub::Broker broker(sim, std::max<std::size_t>(trace.arrivals.size(), 1));
+
+  net::Link link(sim);
+
+  device::DeviceConfig device_config;
+  device_config.storage_limit = device_overrides.storage_limit;
+  device_config.battery_capacity = device_overrides.battery_capacity;
+  device_config.receive_cost = device_overrides.receive_cost;
+  device_config.send_cost = device_overrides.send_cost;
+  device::Device device(sim, DeviceId{1}, device_config);
+
+  core::SimDeviceChannel channel(link, device);
+  core::Proxy proxy(sim, channel);
+  proxy.attach_to_link(link);
+
+  core::TopicConfig topic_config;
+  topic_config.mode = core::DeliveryMode::kOnDemand;
+  topic_config.options.max = config.max;
+  topic_config.options.threshold = config.threshold;
+  topic_config.policy = policy;
+  // History must cover the run for correct READ rank comparison.
+  proxy.add_topic(kTopic, topic_config);
+  // The device knows the user's qualitative limit, so rank-drop notices can
+  // retract held copies instead of letting them clog the buffer.
+  device.set_topic_threshold(kTopic, config.threshold);
+
+  pubsub::Publisher publisher(broker, "workload");
+  publisher.advertise(kTopic);
+  broker.subscribe(kTopic, proxy, topic_config.options);
+
+  core::LastHopSession session(proxy, channel);
+
+  // --- populate the simulator with the trace's three event types -----------
+
+  link.apply_schedule(trace.outages);
+
+  RunOutcome outcome;
+  outcome.published.resize(trace.arrivals.size());
+  std::vector<NotificationId>& published = outcome.published;
+
+  for (std::size_t i = 0; i < trace.arrivals.size(); ++i) {
+    const workload::Arrival& arrival = trace.arrivals[i];
+    sim.schedule_at(arrival.time, [&publisher, &published, arrival, i] {
+      auto notification =
+          publisher.publish(kTopic, arrival.rank, arrival.lifetime);
+      WAIF_CHECK(notification != nullptr);
+      published[i] = notification->id;
+    });
+  }
+
+  for (const workload::RankChange& change : trace.rank_changes) {
+    // Arrivals are scheduled before rank changes, so at equal instants the
+    // publish fires first and `published[...]` is valid.
+    WAIF_CHECK(change.arrival_index < trace.arrivals.size());
+    WAIF_CHECK(change.time >= trace.arrivals[change.arrival_index].time);
+    sim.schedule_at(change.time, [&publisher, &published, change] {
+      publisher.update_rank(published[change.arrival_index], change.new_rank);
+    });
+  }
+
+  for (SimTime read_at : trace.reads) {
+    sim.schedule_at(read_at, [&session, &outcome] {
+      ++outcome.read_operations;
+      for (const auto& notification : session.user_read(kTopic)) {
+        outcome.read_ids.insert(notification->id.value);
+      }
+    });
+  }
+
+  sim.run_until(trace.horizon);
+
+  const core::TopicState* state = proxy.topic(kTopic);
+  WAIF_CHECK(state != nullptr);
+  outcome.topic = state->stats();
+  outcome.device = device.stats();
+  outcome.link = link.stats();
+  outcome.forwarded_unique = state->forwarded_unique();
+  WAIF_CHECK(outcome.read_ids.size() <= outcome.forwarded_unique);
+  return outcome;
+}
+
+Comparison compare_policies(const workload::ScenarioConfig& config,
+                            const core::PolicyConfig& policy,
+                            std::uint64_t seed,
+                            const DeviceOverrides& device_overrides) {
+  const workload::Trace trace = workload::generate_trace(config, seed);
+
+  Comparison comparison;
+  comparison.baseline =
+      run_trace(trace, config, core::PolicyConfig::online(), device_overrides);
+  comparison.policy = run_trace(trace, config, policy, device_overrides);
+  comparison.waste_percent = comparison.policy.waste_percent();
+  comparison.raw_loss_percent = metrics::loss_percent(
+      comparison.baseline.read_ids, comparison.policy.read_ids);
+
+  // Exclude retracted content from loss: a message whose final rank fell
+  // below the subscription threshold is exactly what volume limiting is
+  // supposed to withhold (Section 3.4).
+  metrics::ReadSet wanted = comparison.baseline.read_ids;
+  for (const workload::RankChange& change : trace.rank_changes) {
+    if (change.new_rank < config.threshold) {
+      wanted.erase(comparison.baseline.published[change.arrival_index].value);
+    }
+  }
+  comparison.loss_percent =
+      metrics::loss_percent(wanted, comparison.policy.read_ids);
+  return comparison;
+}
+
+Aggregate evaluate(const workload::ScenarioConfig& config,
+                   const core::PolicyConfig& policy, std::uint64_t seeds,
+                   std::uint64_t first_seed,
+                   const DeviceOverrides& device_overrides) {
+  WAIF_CHECK(seeds > 0);
+  OnlineStats waste;
+  OnlineStats loss;
+  for (std::uint64_t seed = first_seed; seed < first_seed + seeds; ++seed) {
+    const Comparison comparison =
+        compare_policies(config, policy, seed, device_overrides);
+    waste.add(comparison.waste_percent);
+    loss.add(comparison.loss_percent);
+  }
+  Aggregate aggregate;
+  aggregate.waste_percent = waste.mean();
+  aggregate.loss_percent = loss.mean();
+  aggregate.waste_stddev = waste.stddev();
+  aggregate.loss_stddev = loss.stddev();
+  aggregate.seeds = seeds;
+  return aggregate;
+}
+
+}  // namespace waif::experiments

@@ -1,0 +1,90 @@
+// The experiment harness: replay one trace under a forwarding policy, and
+// compare policies against the on-line baseline over identical traces —
+// exactly the paper's methodology ("we configured the simulator to execute
+// two scenarios for each randomized set of discrete events").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/forwarding_policy.h"
+#include "core/proxy.h"
+#include "device/device.h"
+#include "metrics/inefficiency.h"
+#include "net/link.h"
+#include "workload/scenario.h"
+#include "workload/trace.h"
+
+namespace waif::experiments {
+
+/// Everything measured in one replay of a trace under one policy.
+struct RunOutcome {
+  /// Ids the user read during the run.
+  metrics::ReadSet read_ids;
+  /// NotificationId assigned to each trace arrival (index-aligned); used to
+  /// relate rank-change records back to routed ids.
+  std::vector<NotificationId> published;
+  /// Distinct notification ids transferred proxy -> device.
+  std::uint64_t forwarded_unique = 0;
+  /// Total reads the user performed (read instants that returned >= 0 msgs).
+  std::uint64_t read_operations = 0;
+  core::TopicStats topic;
+  device::DeviceStats device;
+  net::LinkStats link;
+
+  /// waste% of this run: forwarded-but-never-read / forwarded.
+  double waste_percent() const;
+};
+
+/// Optional device-constraint overrides for a run (Section 2.3 experiments).
+struct DeviceOverrides {
+  std::size_t storage_limit = device::kUnlimitedStorage;
+  double battery_capacity = device::kUnlimitedBattery;
+  double receive_cost = 1.0;
+  double send_cost = 1.0;
+};
+
+/// Replays `trace` with the subscription limits of `config` under `policy`.
+RunOutcome run_trace(const workload::Trace& trace,
+                     const workload::ScenarioConfig& config,
+                     const core::PolicyConfig& policy,
+                     const DeviceOverrides& device_overrides = {});
+
+/// A policy run paired with its on-line baseline over the same trace.
+struct Comparison {
+  RunOutcome baseline;  // on-line forwarding: zero loss by definition
+  RunOutcome policy;
+  double waste_percent = 0.0;  // of the policy run
+  /// Baseline-read messages the policy user never saw, as a percentage of
+  /// the baseline read set. Messages whose rank was later retracted below
+  /// the subscription threshold are excluded: not delivering retracted
+  /// content is the point of rank changes (Section 3.4), not a loss.
+  double loss_percent = 0.0;
+  /// Same set difference without the retraction exclusion.
+  double raw_loss_percent = 0.0;
+};
+
+/// Generates the trace for (config, seed) and runs baseline + policy on it.
+Comparison compare_policies(const workload::ScenarioConfig& config,
+                            const core::PolicyConfig& policy,
+                            std::uint64_t seed,
+                            const DeviceOverrides& device_overrides = {});
+
+/// Mean waste/loss of `policy` across seeds [first_seed, first_seed+seeds).
+struct Aggregate {
+  double waste_percent = 0.0;
+  double loss_percent = 0.0;
+  double waste_stddev = 0.0;
+  double loss_stddev = 0.0;
+  std::uint64_t seeds = 0;
+};
+
+Aggregate evaluate(const workload::ScenarioConfig& config,
+                   const core::PolicyConfig& policy, std::uint64_t seeds = 3,
+                   std::uint64_t first_seed = 1,
+                   const DeviceOverrides& device_overrides = {});
+
+/// The topic name the harness publishes on.
+inline constexpr const char* kTopic = "experiment/topic";
+
+}  // namespace waif::experiments

@@ -1,0 +1,28 @@
+#include "metrics/inefficiency.h"
+
+#include "common/check.h"
+
+namespace waif::metrics {
+
+double waste_percent(std::uint64_t forwarded_unique, std::uint64_t read) {
+  WAIF_CHECK(read <= forwarded_unique);
+  if (forwarded_unique == 0) return 0.0;
+  return 100.0 * static_cast<double>(forwarded_unique - read) /
+         static_cast<double>(forwarded_unique);
+}
+
+std::uint64_t lost_count(const ReadSet& baseline, const ReadSet& policy) {
+  std::uint64_t lost = 0;
+  for (std::uint64_t id : baseline) {
+    if (!policy.contains(id)) ++lost;
+  }
+  return lost;
+}
+
+double loss_percent(const ReadSet& baseline, const ReadSet& policy) {
+  if (baseline.empty()) return 0.0;
+  return 100.0 * static_cast<double>(lost_count(baseline, policy)) /
+         static_cast<double>(baseline.size());
+}
+
+}  // namespace waif::metrics

@@ -1,0 +1,34 @@
+// The paper's two inefficiency metrics (Section 3.1).
+//
+//   waste — messages sent to the device but never read by the user;
+//   loss  — messages that would have been read under an on-line forwarding
+//           policy (the best possible service) but never reached the user
+//           under the policy in effect.
+//
+// Waste is a property of one run; loss is a set difference between a run and
+// its on-line baseline over the identical trace.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace waif::metrics {
+
+/// Ids of the messages the user read during one run.
+using ReadSet = std::unordered_set<std::uint64_t>;
+
+/// Percentage [0,100] of uniquely forwarded messages never read.
+/// `forwarded_unique` counts distinct notification ids transferred to the
+/// device; `read` counts how many of them the user read. 0 when nothing was
+/// forwarded.
+double waste_percent(std::uint64_t forwarded_unique, std::uint64_t read);
+
+/// Percentage [0,100] of the baseline's read messages missing from the
+/// policy run's read set. 0 when the baseline read nothing (e.g. 100%
+/// outage: "on-line and on-demand policies are equally powerless").
+double loss_percent(const ReadSet& baseline, const ReadSet& policy);
+
+/// |baseline \ policy| — the lost messages themselves.
+std::uint64_t lost_count(const ReadSet& baseline, const ReadSet& policy);
+
+}  // namespace waif::metrics

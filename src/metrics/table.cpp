@@ -1,0 +1,89 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+
+namespace waif::metrics {
+
+namespace {
+
+std::string render(double value, int precision) {
+  if (std::isnan(value)) return "-";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace
+
+Table::Table(std::string caption, std::string row_header,
+             std::vector<std::string> series_names)
+    : caption_(std::move(caption)),
+      row_header_(std::move(row_header)),
+      series_names_(std::move(series_names)) {
+  WAIF_CHECK(!series_names_.empty());
+}
+
+void Table::add_row(std::string label, const std::vector<double>& values) {
+  if (values.size() != series_names_.size()) {
+    throw std::invalid_argument("add_row: wrong number of values");
+  }
+  rows_.push_back(Row{std::move(label), values});
+}
+
+double Table::value(std::size_t row, std::size_t series) const {
+  WAIF_CHECK(row < rows_.size());
+  WAIF_CHECK(series < series_names_.size());
+  return rows_[row].values[series];
+}
+
+void Table::print(std::ostream& out) const {
+  out << caption_ << "\n";
+  // Column widths: row header column, then one per series.
+  std::size_t label_width = row_header_.size();
+  for (const Row& row : rows_) label_width = std::max(label_width, row.label.size());
+  std::vector<std::size_t> widths(series_names_.size());
+  for (std::size_t s = 0; s < series_names_.size(); ++s) {
+    widths[s] = series_names_[s].size();
+    for (const Row& row : rows_) {
+      widths[s] = std::max(widths[s], render(row.values[s], precision_).size());
+    }
+  }
+
+  auto pad = [&out](const std::string& text, std::size_t width) {
+    out << text;
+    for (std::size_t i = text.size(); i < width; ++i) out << ' ';
+  };
+
+  pad(row_header_, label_width + 2);
+  for (std::size_t s = 0; s < series_names_.size(); ++s) {
+    pad(series_names_[s], widths[s] + 2);
+  }
+  out << "\n";
+  for (const Row& row : rows_) {
+    pad(row.label, label_width + 2);
+    for (std::size_t s = 0; s < series_names_.size(); ++s) {
+      pad(render(row.values[s], precision_), widths[s] + 2);
+    }
+    out << "\n";
+  }
+}
+
+void Table::print_csv(std::ostream& out) const {
+  out << row_header_;
+  for (const std::string& name : series_names_) out << ',' << name;
+  out << "\n";
+  for (const Row& row : rows_) {
+    out << row.label;
+    for (double value : row.values) out << ',' << render(value, precision_);
+    out << "\n";
+  }
+}
+
+}  // namespace waif::metrics

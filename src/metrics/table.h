@@ -1,0 +1,47 @@
+// Plain-text series tables: each bench binary prints the rows/series of the
+// corresponding paper figure in this format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace waif::metrics {
+
+/// A column-aligned table with a caption: row labels down the side (the
+/// figure's x axis), one column per series (the figure's curve family).
+class Table {
+ public:
+  Table(std::string caption, std::string row_header,
+        std::vector<std::string> series_names);
+
+  /// Appends a row of one value per series. Values are rendered with
+  /// `precision` decimal digits; NaN renders as "-".
+  void add_row(std::string label, const std::vector<double>& values);
+
+  void set_precision(int precision) { precision_ = precision; }
+
+  /// Renders with aligned columns.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (caption omitted), for plotting.
+  void print_csv(std::ostream& out) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t series() const { return series_names_.size(); }
+  double value(std::size_t row, std::size_t series) const;
+
+ private:
+  std::string caption_;
+  std::string row_header_;
+  std::vector<std::string> series_names_;
+  struct Row {
+    std::string label;
+    std::vector<double> values;
+  };
+  std::vector<Row> rows_;
+  int precision_ = 1;
+};
+
+}  // namespace waif::metrics

@@ -1,0 +1,62 @@
+#include "net/link.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace waif::net {
+
+Link::Link(sim::Simulator& sim) : sim_(sim) {}
+
+void Link::set_state(LinkState state) {
+  if (state == state_) return;
+  if (state_ == LinkState::kDown) {
+    accumulated_downtime_ += sim_.now() - last_transition_;
+  }
+  state_ = state;
+  last_transition_ = sim_.now();
+  ++stats_.transitions;
+  for (const auto& listener : listeners_) listener(state);
+}
+
+void Link::on_state_change(std::function<void(LinkState)> listener) {
+  WAIF_CHECK(listener != nullptr);
+  listeners_.push_back(std::move(listener));
+}
+
+void Link::apply_schedule(const OutageSchedule& schedule) {
+  set_state(schedule.is_down(sim_.now()) ? LinkState::kDown : LinkState::kUp);
+  for (const Outage& outage : schedule.outages()) {
+    if (outage.end <= sim_.now()) continue;
+    if (outage.start > sim_.now()) {
+      sim_.schedule_at(outage.start, [this] { set_state(LinkState::kDown); });
+    }
+    // A schedule covers [0, horizon); an outage truncated at the horizon has
+    // no recovery inside the modeled run, so no up-transition is scheduled
+    // (it would fire exactly at the horizon and leak traffic into the last
+    // instant of the run).
+    if (outage.end < schedule.horizon()) {
+      sim_.schedule_at(outage.end, [this] { set_state(LinkState::kUp); });
+    }
+  }
+}
+
+void Link::record_downlink(std::size_t bytes) {
+  WAIF_CHECK(is_up());
+  ++stats_.downlink_messages;
+  stats_.downlink_bytes += bytes;
+}
+
+void Link::record_uplink(std::size_t bytes) {
+  WAIF_CHECK(is_up());
+  ++stats_.uplink_messages;
+  stats_.uplink_bytes += bytes;
+}
+
+SimDuration Link::downtime() const {
+  SimDuration total = accumulated_downtime_;
+  if (state_ == LinkState::kDown) total += sim_.now() - last_transition_;
+  return total;
+}
+
+}  // namespace waif::net

@@ -1,0 +1,74 @@
+// The last hop: the link between the proxy (wired infrastructure) and the
+// mobile device.
+//
+// The link is a two-state (up/down) machine with change listeners — the
+// proxy's NETWORK(status) handler in the paper is exactly such a listener —
+// plus transfer accounting, since waste on this link is what the whole paper
+// is about.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.h"
+#include "net/outage.h"
+#include "sim/simulator.h"
+
+namespace waif::net {
+
+enum class LinkState : std::uint8_t { kDown, kUp };
+
+struct LinkStats {
+  /// Notification transfers proxy -> device.
+  std::uint64_t downlink_messages = 0;
+  /// READ requests and context updates device -> proxy.
+  std::uint64_t uplink_messages = 0;
+  std::uint64_t downlink_bytes = 0;
+  std::uint64_t uplink_bytes = 0;
+  std::uint64_t transitions = 0;
+};
+
+class Link {
+ public:
+  /// Links start up; apply_schedule() or set_state() changes that.
+  explicit Link(sim::Simulator& sim);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  LinkState state() const { return state_; }
+  bool is_up() const { return state_ == LinkState::kUp; }
+
+  /// Changes the state, notifying listeners on an actual change.
+  void set_state(LinkState state);
+
+  /// Registers a state-change listener (never removed; components live as
+  /// long as the link in every simulation).
+  void on_state_change(std::function<void(LinkState)> listener);
+
+  /// Schedules every transition of `schedule` on the simulator and applies
+  /// the state at the current instant. Call once, at setup time.
+  void apply_schedule(const OutageSchedule& schedule);
+
+  /// Accounts one proxy->device message. Pre: is_up().
+  void record_downlink(std::size_t bytes);
+  /// Accounts one device->proxy message. Pre: is_up().
+  void record_uplink(std::size_t bytes);
+
+  const LinkStats& stats() const { return stats_; }
+
+  /// Cumulative time spent down up to now().
+  SimDuration downtime() const;
+
+ private:
+  sim::Simulator& sim_;
+  LinkState state_ = LinkState::kUp;
+  std::vector<std::function<void(LinkState)>> listeners_;
+  LinkStats stats_;
+  SimTime last_transition_ = 0;
+  SimDuration accumulated_downtime_ = 0;
+};
+
+}  // namespace waif::net

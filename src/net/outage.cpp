@@ -1,0 +1,68 @@
+#include "net/outage.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace waif::net {
+
+OutageSchedule::OutageSchedule(std::vector<Outage> outages, SimTime horizon)
+    : horizon_(horizon) {
+  WAIF_CHECK(horizon >= 0);
+  std::erase_if(outages, [](const Outage& o) { return o.end <= o.start; });
+  std::sort(outages.begin(), outages.end(),
+            [](const Outage& a, const Outage& b) { return a.start < b.start; });
+  for (Outage o : outages) {
+    WAIF_CHECK(o.start >= 0);
+    o.end = std::min(o.end, horizon);
+    if (o.start >= horizon) break;
+    if (!outages_.empty() && o.start <= outages_.back().end) {
+      outages_.back().end = std::max(outages_.back().end, o.end);
+    } else {
+      outages_.push_back(o);
+    }
+  }
+}
+
+OutageSchedule OutageSchedule::always_down(SimTime horizon) {
+  return OutageSchedule({Outage{0, horizon}}, horizon);
+}
+
+OutageSchedule OutageSchedule::always_up(SimTime horizon) {
+  return OutageSchedule({}, horizon);
+}
+
+bool OutageSchedule::is_down(SimTime at) const {
+  // First outage starting after `at`; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      outages_.begin(), outages_.end(), at,
+      [](SimTime t, const Outage& o) { return t < o.start; });
+  if (it == outages_.begin()) return false;
+  --it;
+  return at < it->end;
+}
+
+double OutageSchedule::downtime_fraction() const {
+  if (horizon_ == 0) return 0.0;
+  SimDuration down = 0;
+  for (const Outage& o : outages_) down += o.duration();
+  return static_cast<double>(down) / static_cast<double>(horizon_);
+}
+
+SimTime OutageSchedule::next_down(SimTime at) const {
+  auto it = std::lower_bound(
+      outages_.begin(), outages_.end(), at,
+      [](const Outage& o, SimTime t) { return o.start < t; });
+  return it == outages_.end() ? kNever : it->start;
+}
+
+SimTime OutageSchedule::next_up(SimTime at) const {
+  if (!is_down(at)) return at;
+  auto it = std::upper_bound(
+      outages_.begin(), outages_.end(), at,
+      [](SimTime t, const Outage& o) { return t < o.start; });
+  --it;  // the outage containing `at`
+  return it->end;
+}
+
+}  // namespace waif::net

@@ -1,0 +1,59 @@
+// Network-outage schedules for the last hop.
+//
+// The paper models outages as a Poisson-started process with high-variance
+// durations whose cumulative downtime covers a configurable 0..100% of the
+// run ("periods of unacceptably slow network performance" count as outages
+// too). A schedule is a precomputed, sorted list of down intervals so that
+// the identical outage pattern can be replayed under every forwarding policy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.h"
+
+namespace waif::net {
+
+/// Half-open down interval [start, end).
+struct Outage {
+  SimTime start;
+  SimTime end;
+
+  SimDuration duration() const { return end - start; }
+};
+
+class OutageSchedule {
+ public:
+  OutageSchedule() = default;
+
+  /// `outages` must be within [0, horizon); overlapping or unsorted input is
+  /// normalized (sorted and merged).
+  OutageSchedule(std::vector<Outage> outages, SimTime horizon);
+
+  /// Convenience: the link is down for the whole run.
+  static OutageSchedule always_down(SimTime horizon);
+  /// Convenience: no outages at all.
+  static OutageSchedule always_up(SimTime horizon);
+
+  bool is_down(SimTime at) const;
+  bool is_up(SimTime at) const { return !is_down(at); }
+
+  /// Fraction of [0, horizon) spent down.
+  double downtime_fraction() const;
+
+  SimTime horizon() const { return horizon_; }
+  const std::vector<Outage>& outages() const { return outages_; }
+  std::size_t count() const { return outages_.size(); }
+
+  /// Start of the first outage at or after `at`, or kNever.
+  SimTime next_down(SimTime at) const;
+  /// First instant at or after `at` when the link is up, or kNever if the
+  /// schedule is down through the horizon and beyond.
+  SimTime next_up(SimTime at) const;
+
+ private:
+  std::vector<Outage> outages_;  // sorted, disjoint
+  SimTime horizon_ = 0;
+};
+
+}  // namespace waif::net

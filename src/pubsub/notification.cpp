@@ -1,0 +1,11 @@
+#include "pubsub/notification.h"
+
+namespace waif::pubsub {
+
+SimDuration Notification::remaining_lifetime(SimTime now) const {
+  if (!expires()) return kNever;
+  if (expires_at <= now) return 0;
+  return expires_at - now;
+}
+
+}  // namespace waif::pubsub

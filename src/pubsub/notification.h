@@ -1,0 +1,62 @@
+// Event notifications and their volume-limiting attributes.
+//
+// Per the paper (Section 2.1), every notification may carry two publisher-
+// assigned attributes: Rank (importance relative to other notifications on the
+// same topic) and Expiration (the instant after which it is irrelevant).
+// Notifications are immutable once published; a rank change is expressed as a
+// fresh Notification carrying the same id (Section 3.4), exactly as the
+// paper's NOTIFICATION handler expects.
+#pragma once
+
+#include <compare>
+#include <memory>
+#include <string>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace waif::pubsub {
+
+/// Ranks live on a fixed scale; the examples follow the paper's Slashdot
+/// illustration (0 .. 5).
+inline constexpr double kMinRank = 0.0;
+inline constexpr double kMaxRank = 5.0;
+
+struct Notification {
+  NotificationId id;
+  std::string topic;
+  PublisherId publisher;
+  /// Importance relative to other notifications on the topic, in
+  /// [kMinRank, kMaxRank].
+  double rank = kMinRank;
+  /// Virtual time of the publish() call.
+  SimTime published_at = 0;
+  /// Instant after which the notification should be discarded; kNever if the
+  /// publisher attached no expiration.
+  SimTime expires_at = kNever;
+  /// Application payload (opaque to the infrastructure).
+  std::string payload;
+
+  bool expired_at(SimTime now) const { return expires_at <= now; }
+  bool expires() const { return expires_at != kNever; }
+  /// Remaining lifetime at `now`; 0 if already expired, kNever if eternal.
+  SimDuration remaining_lifetime(SimTime now) const;
+};
+
+/// Shared immutable notification as routed through the system. One allocation
+/// per publish; every queue and device buffer holds a reference.
+using NotificationPtr = std::shared_ptr<const Notification>;
+
+/// Ordering used everywhere "highest-ranked" appears in the paper: by rank
+/// descending, ties broken toward the more recent event, then by id for
+/// total determinism.
+struct RankHigher {
+  bool operator()(const NotificationPtr& a, const NotificationPtr& b) const {
+    if (a->rank != b->rank) return a->rank > b->rank;
+    if (a->published_at != b->published_at)
+      return a->published_at > b->published_at;
+    return a->id.value > b->id.value;
+  }
+};
+
+}  // namespace waif::pubsub

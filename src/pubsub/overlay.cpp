@@ -1,0 +1,262 @@
+#include "pubsub/overlay.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "common/check.h"
+
+namespace waif::pubsub {
+
+// ---------------------------------------------------------------- OverlayNode
+
+OverlayNode::OverlayNode(Overlay& overlay, BrokerId id, std::string name)
+    : overlay_(overlay), id_(id), name_(std::move(name)) {}
+
+PublisherId OverlayNode::register_publisher(std::string) {
+  const PublisherId id{overlay_.next_publisher_++};
+  publisher_topics_.emplace(id.value, std::unordered_set<std::string>{});
+  return id;
+}
+
+void OverlayNode::advertise(PublisherId publisher, const std::string& topic) {
+  auto it = publisher_topics_.find(publisher.value);
+  if (it == publisher_topics_.end()) {
+    throw std::invalid_argument("advertise: publisher not attached here");
+  }
+  it->second.insert(topic);
+  advertised_.insert(topic);
+}
+
+bool OverlayNode::withdraw(PublisherId publisher, const std::string& topic) {
+  auto it = publisher_topics_.find(publisher.value);
+  if (it == publisher_topics_.end() || it->second.erase(topic) == 0) {
+    return false;
+  }
+  // advertised_ keeps the topic while any local publisher still has it.
+  const bool still = std::any_of(
+      publisher_topics_.begin(), publisher_topics_.end(),
+      [&](const auto& entry) { return entry.second.contains(topic); });
+  if (!still) advertised_.erase(topic);
+  return true;
+}
+
+NotificationPtr OverlayNode::publish(PublisherId publisher,
+                                     const std::string& topic, double rank,
+                                     SimDuration lifetime,
+                                     std::string payload) {
+  auto it = publisher_topics_.find(publisher.value);
+  if (it == publisher_topics_.end() || !it->second.contains(topic)) {
+    return nullptr;
+  }
+  auto notification = std::make_shared<Notification>();
+  notification->id = NotificationId{overlay_.next_notification_++};
+  notification->topic = topic;
+  notification->publisher = publisher;
+  notification->rank = std::clamp(rank, kMinRank, kMaxRank);
+  notification->published_at = overlay_.sim_.now();
+  notification->expires_at =
+      lifetime == kNever ? kNever : overlay_.sim_.now() + lifetime;
+  notification->payload = std::move(payload);
+
+  ++overlay_.stats_.published;
+  history_.push_back(notification);
+  if (history_.size() > overlay_.history_limit_) history_.pop_front();
+  receive(notification, /*from=*/nullptr);
+  return notification;
+}
+
+bool OverlayNode::update_rank(PublisherId publisher, NotificationId id,
+                              double new_rank) {
+  auto it = std::find_if(history_.begin(), history_.end(),
+                         [&](const NotificationPtr& n) { return n->id == id; });
+  if (it == history_.end() || (*it)->publisher != publisher) return false;
+  auto updated = std::make_shared<Notification>(**it);
+  updated->rank = std::clamp(new_rank, kMinRank, kMaxRank);
+  *it = updated;
+  receive(updated, /*from=*/nullptr);
+  return true;
+}
+
+SubscriptionId OverlayNode::subscribe(const std::string& topic,
+                                      Subscriber& subscriber,
+                                      SubscriptionOptions options) {
+  const SubscriptionId id{overlay_.next_subscription_++};
+  subscriptions_.push_back(SubscriptionRecord{id, topic, &subscriber, options});
+  ++local_interest_[topic];
+  refresh_interest(topic);
+  return id;
+}
+
+bool OverlayNode::unsubscribe(SubscriptionId id) {
+  auto it = std::find_if(
+      subscriptions_.begin(), subscriptions_.end(),
+      [&](const SubscriptionRecord& r) { return r.id == id; });
+  if (it == subscriptions_.end()) return false;
+  const std::string topic = it->topic;
+  subscriptions_.erase(it);
+  auto interest = local_interest_.find(topic);
+  WAIF_CHECK(interest != local_interest_.end() && interest->second > 0);
+  if (--interest->second == 0) local_interest_.erase(interest);
+  refresh_interest(topic);
+  return true;
+}
+
+bool OverlayNode::interested_neighbor(BrokerId neighbor,
+                                      const std::string& topic) const {
+  auto it = neighbor_interest_.find(topic);
+  return it != neighbor_interest_.end() && it->second.contains(neighbor.value);
+}
+
+bool OverlayNode::has_interest(const std::string& topic) const {
+  return local_interest_.contains(topic);
+}
+
+void OverlayNode::receive(const NotificationPtr& notification,
+                          const OverlayNode* from) {
+  const std::string& topic = notification->topic;
+  if (notification->expired_at(overlay_.sim_.now())) {
+    ++overlay_.stats_.dropped_expired;
+    return;
+  }
+  // Local delivery. Iterate over a copy: callbacks may (un)subscribe.
+  const auto subscriptions = subscriptions_;
+  for (const auto& record : subscriptions) {
+    if (record.topic != topic) continue;
+    record.subscriber->on_notification(notification);
+    ++overlay_.stats_.local_deliveries;
+  }
+  // Reverse-path forwarding along interested links, except back where the
+  // notification came from.
+  auto interested = neighbor_interest_.find(topic);
+  if (interested == neighbor_interest_.end()) return;
+  for (const Link& link : links_) {
+    if (link.peer == from) continue;
+    if (!interested->second.contains(link.peer->id_.value)) continue;
+    OverlayNode* peer = link.peer;
+    ++overlay_.stats_.forwarded;
+    overlay_.sim_.schedule_after(link.latency, [peer, notification, this] {
+      peer->receive(notification, this);
+    });
+  }
+}
+
+void OverlayNode::handle_interest(const std::string& topic, OverlayNode* from,
+                                  bool add) {
+  ++overlay_.stats_.interest_updates;
+  auto& holders = neighbor_interest_[topic];
+  if (add) {
+    holders.insert(from->id_.value);
+  } else {
+    holders.erase(from->id_.value);
+    if (holders.empty()) neighbor_interest_.erase(topic);
+  }
+  refresh_interest(topic);
+}
+
+bool OverlayNode::wants_from(const OverlayNode* neighbor,
+                             const std::string& topic) const {
+  if (local_interest_.contains(topic)) return true;
+  // Interested on behalf of any *other* neighbor that asked us.
+  auto it = neighbor_interest_.find(topic);
+  if (it == neighbor_interest_.end()) return false;
+  for (std::uint64_t holder : it->second) {
+    if (holder != neighbor->id_.value) return true;
+  }
+  return false;
+}
+
+void OverlayNode::refresh_interest(const std::string& topic) {
+  for (const Link& link : links_) {
+    const bool want = wants_from(link.peer, topic);
+    auto& announced = announced_interest_[topic];
+    const bool told = announced.contains(link.peer->id_.value);
+    if (want == told) continue;
+    if (want) {
+      announced.insert(link.peer->id_.value);
+    } else {
+      announced.erase(link.peer->id_.value);
+    }
+    link.peer->handle_interest(topic, this, want);
+  }
+  auto it = announced_interest_.find(topic);
+  if (it != announced_interest_.end() && it->second.empty()) {
+    announced_interest_.erase(it);
+  }
+}
+
+// -------------------------------------------------------------------- Overlay
+
+Overlay::Overlay(sim::Simulator& sim, std::size_t history_limit)
+    : sim_(sim), history_limit_(history_limit) {
+  WAIF_CHECK(history_limit > 0);
+}
+
+OverlayNode& Overlay::add_node(std::string name) {
+  const BrokerId id{next_node_++};
+  auto node = std::unique_ptr<OverlayNode>(
+      new OverlayNode(*this, id, std::move(name)));
+  OverlayNode* raw = node.get();
+  nodes_.push_back(std::move(node));
+  by_id_.emplace(id.value, raw);
+  parent_.emplace(id.value, id.value);
+  return *raw;
+}
+
+void Overlay::connect(BrokerId a, BrokerId b, SimDuration latency) {
+  if (a == b) throw std::invalid_argument("connect: self-link");
+  if (latency < 0) throw std::invalid_argument("connect: negative latency");
+  OverlayNode& na = node(a);
+  OverlayNode& nb = node(b);
+  const std::uint64_t ra = find_root(a.value);
+  const std::uint64_t rb = find_root(b.value);
+  if (ra == rb) {
+    throw std::invalid_argument("connect: edge would create a cycle");
+  }
+  parent_[ra] = rb;
+  na.links_.push_back(OverlayNode::Link{&nb, latency});
+  nb.links_.push_back(OverlayNode::Link{&na, latency});
+  // Bring the new neighbors up to date on existing interest.
+  for (const auto& [topic, count] : na.local_interest_) {
+    (void)count;
+    na.refresh_interest(topic);
+  }
+  for (const auto& [topic, holders] : na.neighbor_interest_) {
+    (void)holders;
+    na.refresh_interest(topic);
+  }
+  for (const auto& [topic, count] : nb.local_interest_) {
+    (void)count;
+    nb.refresh_interest(topic);
+  }
+  for (const auto& [topic, holders] : nb.neighbor_interest_) {
+    (void)holders;
+    nb.refresh_interest(topic);
+  }
+}
+
+OverlayNode& Overlay::node(BrokerId id) {
+  auto it = by_id_.find(id.value);
+  if (it == by_id_.end()) throw std::invalid_argument("node: unknown broker id");
+  return *it->second;
+}
+
+const OverlayNode& Overlay::node(BrokerId id) const {
+  auto it = by_id_.find(id.value);
+  if (it == by_id_.end()) throw std::invalid_argument("node: unknown broker id");
+  return *it->second;
+}
+
+std::uint64_t Overlay::find_root(std::uint64_t id) {
+  std::uint64_t root = id;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[id] != root) {
+    const std::uint64_t next = parent_[id];
+    parent_[id] = root;
+    id = next;
+  }
+  return root;
+}
+
+}  // namespace waif::pubsub

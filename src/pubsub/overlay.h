@@ -1,0 +1,154 @@
+// A small wide-area routing substrate: a tree of broker nodes with
+// subscription (interest) propagation and reverse-path forwarding.
+//
+// The paper treats the routing network as a black box offering the standard
+// pub/sub operations; this overlay is a functional stand-in so the proxy can
+// sit behind a real multi-hop substrate in examples and integration tests.
+// Notifications travel link-by-link with per-link latency through the shared
+// discrete-event simulator; interest updates propagate the same way but
+// instantaneously (control traffic is negligible at the modeled scale).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.h"
+#include "pubsub/notification.h"
+#include "pubsub/subscriber.h"
+#include "pubsub/subscription.h"
+#include "sim/simulator.h"
+
+namespace waif::pubsub {
+
+class Overlay;
+
+struct OverlayStats {
+  std::uint64_t published = 0;
+  std::uint64_t forwarded = 0;       // node-to-node notification transfers
+  std::uint64_t local_deliveries = 0;
+  std::uint64_t dropped_expired = 0;  // expired while in transit
+  std::uint64_t interest_updates = 0;
+};
+
+/// One broker node in the overlay. Obtain from Overlay::add_node(); the
+/// Overlay owns all nodes and they have stable addresses.
+class OverlayNode {
+ public:
+  BrokerId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // --- publisher side (local attachment) ----------------------------------
+  PublisherId register_publisher(std::string name = {});
+  void advertise(PublisherId publisher, const std::string& topic);
+  bool withdraw(PublisherId publisher, const std::string& topic);
+  NotificationPtr publish(PublisherId publisher, const std::string& topic,
+                          double rank, SimDuration lifetime = kNever,
+                          std::string payload = {});
+  /// Re-rank an event originally published at this node.
+  bool update_rank(PublisherId publisher, NotificationId id, double new_rank);
+
+  // --- subscriber side (local attachment) ---------------------------------
+  SubscriptionId subscribe(const std::string& topic, Subscriber& subscriber,
+                           SubscriptionOptions options = {});
+  bool unsubscribe(SubscriptionId id);
+
+  // --- introspection -------------------------------------------------------
+  /// True when this node would forward `topic` traffic toward `neighbor`.
+  bool interested_neighbor(BrokerId neighbor, const std::string& topic) const;
+  /// True when this node itself must receive `topic` traffic.
+  bool has_interest(const std::string& topic) const;
+  std::size_t link_count() const { return links_.size(); }
+
+ private:
+  friend class Overlay;
+  struct Link {
+    OverlayNode* peer;
+    SimDuration latency;
+  };
+  struct SubscriptionRecord {
+    SubscriptionId id;
+    std::string topic;
+    Subscriber* subscriber;
+    SubscriptionOptions options;
+  };
+
+  OverlayNode(Overlay& overlay, BrokerId id, std::string name);
+
+  /// Notification arriving over the link from `from` (nullptr = published
+  /// locally).
+  void receive(const NotificationPtr& notification, const OverlayNode* from);
+
+  /// Neighbor `from` declared (add=true) or retracted interest in `topic`.
+  void handle_interest(const std::string& topic, OverlayNode* from, bool add);
+
+  /// Recomputes, for every neighbor, whether we should appear interested to
+  /// them, and sends the delta.
+  void refresh_interest(const std::string& topic);
+
+  bool wants_from(const OverlayNode* neighbor, const std::string& topic) const;
+
+  Overlay& overlay_;
+  BrokerId id_;
+  std::string name_;
+  std::vector<Link> links_;
+  std::vector<SubscriptionRecord> subscriptions_;
+  std::unordered_map<std::string, std::size_t> local_interest_;  // topic -> #subs
+  /// topic -> neighbors that asked us for it.
+  std::unordered_map<std::string, std::unordered_set<std::uint64_t>>
+      neighbor_interest_;
+  /// topic -> neighbors we have told we are interested.
+  std::unordered_map<std::string, std::unordered_set<std::uint64_t>>
+      announced_interest_;
+  std::unordered_set<std::string> advertised_;  // by any local publisher
+  std::unordered_map<std::uint64_t, std::unordered_set<std::string>>
+      publisher_topics_;
+  /// Origin-node history for rank updates, bounded like Broker's.
+  std::deque<NotificationPtr> history_;
+};
+
+class Overlay {
+ public:
+  explicit Overlay(sim::Simulator& sim, std::size_t history_limit = 4096);
+
+  Overlay(const Overlay&) = delete;
+  Overlay& operator=(const Overlay&) = delete;
+
+  /// Creates a new, initially isolated node.
+  OverlayNode& add_node(std::string name);
+
+  /// Connects two nodes with a symmetric link. Throws std::invalid_argument
+  /// if the edge would create a cycle (the overlay must stay a tree) or
+  /// duplicate an existing link.
+  void connect(BrokerId a, BrokerId b, SimDuration latency);
+
+  OverlayNode& node(BrokerId id);
+  const OverlayNode& node(BrokerId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  const OverlayStats& stats() const { return stats_; }
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  friend class OverlayNode;
+
+  /// Union-find for cycle detection on connect().
+  std::uint64_t find_root(std::uint64_t id);
+
+  sim::Simulator& sim_;
+  std::size_t history_limit_;
+  std::vector<std::unique_ptr<OverlayNode>> nodes_;
+  std::unordered_map<std::uint64_t, OverlayNode*> by_id_;
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_;  // union-find
+  std::uint64_t next_node_ = 1;
+  std::uint64_t next_publisher_ = 1;
+  std::uint64_t next_notification_ = 1;
+  std::uint64_t next_subscription_ = 1;
+  OverlayStats stats_;
+};
+
+}  // namespace waif::pubsub

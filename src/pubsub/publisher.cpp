@@ -1,0 +1,33 @@
+#include "pubsub/publisher.h"
+
+#include <utility>
+
+namespace waif::pubsub {
+
+Publisher::Publisher(Broker& broker, std::string name)
+    : broker_(broker), id_(broker.register_publisher(name)), name_(std::move(name)) {}
+
+Publisher::~Publisher() {
+  for (const auto& topic : advertised_) broker_.withdraw(id_, topic);
+}
+
+void Publisher::advertise(const std::string& topic) {
+  if (advertised_.insert(topic).second) broker_.advertise(id_, topic);
+}
+
+bool Publisher::withdraw(const std::string& topic) {
+  if (advertised_.erase(topic) == 0) return false;
+  return broker_.withdraw(id_, topic);
+}
+
+NotificationPtr Publisher::publish(const std::string& topic, double rank,
+                                   SimDuration lifetime, std::string payload) {
+  advertise(topic);
+  return broker_.publish(id_, topic, rank, lifetime, std::move(payload));
+}
+
+bool Publisher::update_rank(NotificationId id, double new_rank) {
+  return broker_.update_rank(id_, id, new_rank);
+}
+
+}  // namespace waif::pubsub

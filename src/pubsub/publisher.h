@@ -1,0 +1,51 @@
+// Convenience publisher handle bound to one broker.
+//
+// Wraps register/advertise/publish/update_rank/withdraw so example code and
+// workload drivers read like the paper's publisher interface (Section 2.1).
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "common/ids.h"
+#include "pubsub/broker.h"
+
+namespace waif::pubsub {
+
+class Publisher {
+ public:
+  /// Registers with the broker under `name`.
+  Publisher(Broker& broker, std::string name);
+
+  /// Withdraws every topic still advertised by this publisher.
+  ~Publisher();
+
+  Publisher(const Publisher&) = delete;
+  Publisher& operator=(const Publisher&) = delete;
+
+  /// Starts advertising `topic` (idempotent).
+  void advertise(const std::string& topic);
+
+  /// Stops advertising `topic`; returns false if it was not advertised.
+  bool withdraw(const std::string& topic);
+
+  /// Publishes on a topic, advertising it first if needed. `lifetime` of
+  /// kNever attaches no expiration.
+  NotificationPtr publish(const std::string& topic, double rank,
+                          SimDuration lifetime = kNever,
+                          std::string payload = {});
+
+  /// Re-ranks a previously published notification (Section 3.4).
+  bool update_rank(NotificationId id, double new_rank);
+
+  PublisherId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Broker& broker_;
+  PublisherId id_;
+  std::string name_;
+  std::unordered_set<std::string> advertised_;
+};
+
+}  // namespace waif::pubsub

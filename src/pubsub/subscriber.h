@@ -1,0 +1,29 @@
+// Subscriber endpoint interface.
+#pragma once
+
+#include <string>
+
+#include "pubsub/notification.h"
+
+namespace waif::pubsub {
+
+/// Anything that can receive notifications from a broker: a proxy acting for
+/// a mobile device, a test probe, an overlay edge.
+///
+/// Rank changes arrive through the same entry point as fresh events — a
+/// Notification whose id the receiver has already seen (paper Section 3.4).
+class Subscriber {
+ public:
+  virtual ~Subscriber() = default;
+
+  /// Delivery of a (possibly re-ranked) notification on a subscribed topic.
+  virtual void on_notification(const NotificationPtr& notification) = 0;
+
+  /// The last advertiser of `topic` withdrew it; no further notifications
+  /// will arrive. Default: ignore.
+  virtual void on_topic_withdrawn(const std::string& topic);
+};
+
+inline void Subscriber::on_topic_withdrawn(const std::string&) {}
+
+}  // namespace waif::pubsub

@@ -1,0 +1,27 @@
+// Subscriber-side volume limits (Section 2.2 of the paper).
+#pragma once
+
+#include <limits>
+
+#include "common/ids.h"
+#include "pubsub/notification.h"
+
+namespace waif::pubsub {
+
+/// "Deliver at most Max highest-ranked notifications at a time" — the
+/// quantitative limit. Unlimited by default.
+inline constexpr int kUnlimitedMax = std::numeric_limits<int>::max();
+
+struct SubscriptionOptions {
+  /// Quantitative limit: at most this many highest-ranked notifications per
+  /// read.
+  int max = kUnlimitedMax;
+  /// Qualitative limit: only notifications with rank >= threshold are
+  /// acceptable.
+  double threshold = kMinRank;
+
+  /// True when `n` clears the qualitative limit.
+  bool accepts(const Notification& n) const { return n.rank >= threshold; }
+};
+
+}  // namespace waif::pubsub

@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace waif::sim {
+
+void EventHandle::cancel() {
+  if (!state_ || state_->cancelled || state_->fired) return;
+  state_->cancelled = true;
+  if (state_->live) --*state_->live;
+}
+
+bool EventHandle::active() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventQueue::EventQueue() : live_(std::make_shared<std::size_t>(0)) {}
+
+EventHandle EventQueue::schedule(SimTime when, Callback fn) {
+  WAIF_CHECK(fn != nullptr);
+  auto state = std::make_shared<EventHandle::State>();
+  state->live = live_;
+  heap_.push(Entry{when, next_seq_++, std::move(fn), state});
+  ++*live_;
+  return EventHandle(std::move(state));
+}
+
+SimTime EventQueue::next_time() {
+  skim();
+  return heap_.empty() ? kNever : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim();
+  WAIF_CHECK(!heap_.empty());
+  const Entry& top = heap_.top();
+  Fired fired{top.time, std::move(top.fn)};
+  top.state->fired = true;
+  --*live_;
+  heap_.pop();
+  return fired;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) {
+    heap_.top().state->cancelled = true;  // so outstanding handles go inert
+    heap_.pop();
+  }
+  *live_ = 0;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && heap_.top().state->cancelled) heap_.pop();
+}
+
+}  // namespace waif::sim

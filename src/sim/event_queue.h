@@ -1,0 +1,98 @@
+// Cancellable time-ordered event queue for the discrete-event simulator.
+//
+// Events scheduled for the same instant fire in scheduling order (a strictly
+// increasing sequence number breaks ties), which makes runs deterministic.
+// Cancellation is lazy: a handle flips a shared flag and the entry is skipped
+// when it reaches the top of the heap — O(1) cancel, no heap surgery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace waif::sim {
+
+/// Handle to a scheduled event; copyable, may outlive the queue safely.
+/// Default-constructed handles refer to nothing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing. Idempotent; no-op after it fired.
+  void cancel();
+
+  /// True while the event is scheduled and has neither fired nor been
+  /// cancelled.
+  bool active() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+    // Live-event counter shared with the owning queue; keeps size() exact
+    // even though cancelled entries are removed from the heap lazily.
+    std::shared_ptr<std::size_t> live;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Min-heap of (time, seq) -> callback.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue();
+
+  /// Schedules `fn` at absolute time `when`.
+  EventHandle schedule(SimTime when, Callback fn);
+
+  /// Time of the earliest live event, or kNever when empty.
+  SimTime next_time();
+
+  /// Pops and returns the earliest live event. Pre: !empty().
+  struct Fired {
+    SimTime time;
+    Callback fn;
+  };
+  Fired pop();
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return *live_ == 0; }
+
+  /// Number of live events.
+  std::size_t size() const { return *live_; }
+
+  /// Drops every scheduled event.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    // mutable so fn can be moved out of the priority queue's const top().
+    mutable Callback fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Discards cancelled entries at the top of the heap.
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::shared_ptr<std::size_t> live_;
+};
+
+}  // namespace waif::sim

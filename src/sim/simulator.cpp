@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace waif::sim {
+
+EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
+  WAIF_CHECK(when >= now_);
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventHandle Simulator::schedule_after(SimDuration delay, Callback fn) {
+  WAIF_CHECK(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    const SimTime next = queue_.next_time();
+    if (next == kNever || next > deadline) break;
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    ++fired_;
+    fired.fn();
+  }
+  if (!stopped_ && deadline != kNever && now_ < deadline) {
+    // All events up to the deadline have fired; the run covers [now, deadline]
+    // so the clock advances to the deadline itself.
+    now_ = deadline;
+  }
+}
+
+void Simulator::run() { run_until(kNever); }
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  ++fired_;
+  fired.fn();
+  return true;
+}
+
+}  // namespace waif::sim

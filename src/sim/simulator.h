@@ -1,0 +1,63 @@
+// The discrete-event simulator driving every experiment.
+//
+// Single-threaded by design: one virtual clock, one event queue. Components
+// (broker, proxy, link, device, user) hold a Simulator& and schedule callbacks;
+// the paper's `schedule()` primitive maps to schedule_after()/schedule_at().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/check.h"
+#include "common/time.h"
+#include "sim/event_queue.h"
+
+namespace waif::sim {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `when` (>= now()).
+  EventHandle schedule_at(SimTime when, Callback fn);
+
+  /// Schedules `fn` `delay` after the current time (delay >= 0).
+  EventHandle schedule_after(SimDuration delay, Callback fn);
+
+  /// Runs events until the queue empties or the clock would pass `deadline`.
+  /// Events scheduled exactly at `deadline` do fire; afterwards the clock
+  /// rests at `deadline` (unless stop() was called or deadline is kNever).
+  void run_until(SimTime deadline);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Fires exactly one event if any is pending; returns whether one fired.
+  bool step();
+
+  /// Stops the current run_until()/run() after the in-flight event returns.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total number of events fired since construction.
+  std::uint64_t fired_events() const { return fired_; }
+
+  /// Cancels everything scheduled; the clock is unchanged.
+  void clear() { queue_.clear(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t fired_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace waif::sim

@@ -1,0 +1,70 @@
+// Scenario configuration: the knobs of the paper's simulator (Section 3).
+//
+// "During initialization the simulator is populated with three types of
+// events: notification arrivals, user reads, network outages." A
+// ScenarioConfig captures the parameters of all three plus the subscription's
+// volume limits; trace.h turns one into a concrete, replayable event trace.
+#pragma once
+
+#include "common/distributions.h"
+#include "common/time.h"
+#include "pubsub/notification.h"
+
+namespace waif::workload {
+
+struct ScenarioConfig {
+  // --- notification arrivals ---------------------------------------------
+  /// Events per day on the topic, arriving as a Poisson process.
+  double event_frequency = 32.0;
+  /// Publisher ranks are uniform on [rank_lo, rank_hi].
+  double rank_lo = pubsub::kMinRank;
+  double rank_hi = pubsub::kMaxRank;
+  /// Portion of events carrying an expiration (0 disables expirations even
+  /// when mean_expiration is set).
+  double expiring_fraction = 1.0;
+  /// Mean lifetime of expiring events; 0 means no event ever expires.
+  SimDuration mean_expiration = 0;
+  DurationShape expiration_shape = DurationShape::kExponential;
+
+  // --- rank changes (Section 3.4) -----------------------------------------
+  /// Portion of events whose rank later drops (e.g. retracted spam).
+  double rank_drop_fraction = 0.0;
+  /// Mean delay from publish to the rank drop (exponential).
+  SimDuration mean_rank_drop_delay = kHour;
+  /// The rank assigned by a drop.
+  double dropped_rank = pubsub::kMinRank;
+  /// Portion of events whose rank is later boosted by recommendations.
+  double rank_raise_fraction = 0.0;
+  SimDuration mean_rank_raise_delay = kHour;
+
+  // --- user reads ----------------------------------------------------------
+  /// Reads per day; per-day counts are normal around this (sigma = uf/4),
+  /// fractional frequencies accumulate across days (0.25 = every 4th day).
+  double user_frequency = 2.0;
+  /// Reads fall in a daily awake window of [16h, 17h], starting around 7am
+  /// (start jittered by +-30 min) — "the 16- to 17-hour period, also slightly
+  /// randomized, that the user is awake".
+  SimDuration awake_start_mean = 7 * kHour;
+  SimDuration awake_start_jitter = 30 * kMinute;
+
+  // --- subscription volume limits ------------------------------------------
+  /// Max: at most this many messages are read at a time.
+  int max = 8;
+  /// Threshold: only messages with rank at or above this are read.
+  double threshold = pubsub::kMinRank;
+
+  // --- network outages -------------------------------------------------------
+  /// Target fraction of the run spent down, 0..1.
+  double outage_fraction = 0.0;
+  /// Mean outage duration; starts are Poisson, durations log-normal
+  /// ("Poisson distribution with high variance").
+  SimDuration mean_outage = 4 * kHour;
+  /// Sigma of the log-normal outage duration.
+  double outage_sigma = 1.0;
+
+  // --- run ------------------------------------------------------------------
+  /// "Each experimental run lasted for one 'virtual' year."
+  SimTime horizon = kYear;
+};
+
+}  // namespace waif::workload

@@ -1,0 +1,215 @@
+#include "workload/serialization.h"
+
+#include <algorithm>
+#include <functional>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/distributions.h"
+
+namespace waif::workload {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("line " + std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  // Full round-trip precision for ranks.
+  const std::streamsize old_precision =
+      out.precision(std::numeric_limits<double>::max_digits10);
+  out << "waif-trace v1\n";
+  out << "horizon " << trace.horizon << "\n";
+  for (const Arrival& arrival : trace.arrivals) {
+    out << "arrival " << arrival.time << ' ' << arrival.rank << ' ';
+    if (arrival.lifetime == kNever) {
+      out << "never";
+    } else {
+      out << arrival.lifetime;
+    }
+    out << "\n";
+  }
+  for (SimTime read : trace.reads) out << "read " << read << "\n";
+  for (const net::Outage& outage : trace.outages.outages()) {
+    out << "outage " << outage.start << ' ' << outage.end << "\n";
+  }
+  for (const RankChange& change : trace.rank_changes) {
+    out << "rankchange " << change.time << ' ' << change.arrival_index << ' '
+        << change.new_rank << "\n";
+  }
+  out.precision(old_precision);
+}
+
+Trace read_trace(std::istream& in) {
+  Trace trace;
+  std::vector<net::Outage> outages;
+  std::string line;
+  std::size_t line_number = 0;
+  bool have_header = false;
+  bool have_horizon = false;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (!have_header) {
+      std::string version;
+      fields >> version;
+      if (keyword != "waif-trace" || version != "v1") {
+        fail(line_number, "expected header 'waif-trace v1'");
+      }
+      have_header = true;
+      continue;
+    }
+    if (keyword == "horizon") {
+      if (!(fields >> trace.horizon) || trace.horizon < 0) {
+        fail(line_number, "bad horizon");
+      }
+      have_horizon = true;
+    } else if (keyword == "arrival") {
+      Arrival arrival;
+      std::string lifetime;
+      if (!(fields >> arrival.time >> arrival.rank >> lifetime)) {
+        fail(line_number, "bad arrival");
+      }
+      if (lifetime == "never") {
+        arrival.lifetime = kNever;
+      } else {
+        try {
+          arrival.lifetime = std::stoll(lifetime);
+        } catch (const std::exception&) {
+          fail(line_number, "bad arrival lifetime");
+        }
+      }
+      trace.arrivals.push_back(arrival);
+    } else if (keyword == "read") {
+      SimTime at = 0;
+      if (!(fields >> at)) fail(line_number, "bad read");
+      trace.reads.push_back(at);
+    } else if (keyword == "outage") {
+      net::Outage outage{};
+      if (!(fields >> outage.start >> outage.end)) {
+        fail(line_number, "bad outage");
+      }
+      outages.push_back(outage);
+    } else if (keyword == "rankchange") {
+      RankChange change;
+      if (!(fields >> change.time >> change.arrival_index >> change.new_rank)) {
+        fail(line_number, "bad rankchange");
+      }
+      trace.rank_changes.push_back(change);
+    } else {
+      fail(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!have_header) fail(line_number, "missing header");
+  if (!have_horizon) fail(line_number, "missing horizon");
+
+  std::sort(trace.arrivals.begin(), trace.arrivals.end(),
+            [](const Arrival& a, const Arrival& b) { return a.time < b.time; });
+  std::sort(trace.reads.begin(), trace.reads.end());
+  std::sort(trace.rank_changes.begin(), trace.rank_changes.end(),
+            [](const RankChange& a, const RankChange& b) {
+              return a.time < b.time;
+            });
+  for (const RankChange& change : trace.rank_changes) {
+    if (change.arrival_index >= trace.arrivals.size()) {
+      throw std::invalid_argument("rankchange index out of range");
+    }
+  }
+  trace.outages = net::OutageSchedule(std::move(outages), trace.horizon);
+  return trace;
+}
+
+void write_scenario(std::ostream& out, const ScenarioConfig& config) {
+  const std::streamsize old_precision =
+      out.precision(std::numeric_limits<double>::max_digits10);
+  out << "event_frequency " << config.event_frequency << "\n";
+  out << "rank_lo " << config.rank_lo << "\n";
+  out << "rank_hi " << config.rank_hi << "\n";
+  out << "expiring_fraction " << config.expiring_fraction << "\n";
+  out << "mean_expiration " << config.mean_expiration << "\n";
+  out << "expiration_shape " << to_string(config.expiration_shape) << "\n";
+  out << "rank_drop_fraction " << config.rank_drop_fraction << "\n";
+  out << "mean_rank_drop_delay " << config.mean_rank_drop_delay << "\n";
+  out << "dropped_rank " << config.dropped_rank << "\n";
+  out << "rank_raise_fraction " << config.rank_raise_fraction << "\n";
+  out << "mean_rank_raise_delay " << config.mean_rank_raise_delay << "\n";
+  out << "user_frequency " << config.user_frequency << "\n";
+  out << "awake_start_mean " << config.awake_start_mean << "\n";
+  out << "awake_start_jitter " << config.awake_start_jitter << "\n";
+  out << "max " << config.max << "\n";
+  out << "threshold " << config.threshold << "\n";
+  out << "outage_fraction " << config.outage_fraction << "\n";
+  out << "mean_outage " << config.mean_outage << "\n";
+  out << "outage_sigma " << config.outage_sigma << "\n";
+  out << "horizon " << config.horizon << "\n";
+  out.precision(old_precision);
+}
+
+ScenarioConfig read_scenario(std::istream& in) {
+  ScenarioConfig config;
+  std::map<std::string, std::function<void(std::istringstream&)>> setters;
+  auto set_double = [](double* target) {
+    return [target](std::istringstream& fields) { fields >> *target; };
+  };
+  auto set_int64 = [](std::int64_t* target) {
+    return [target](std::istringstream& fields) { fields >> *target; };
+  };
+  auto set_int = [](int* target) {
+    return [target](std::istringstream& fields) { fields >> *target; };
+  };
+  setters["event_frequency"] = set_double(&config.event_frequency);
+  setters["rank_lo"] = set_double(&config.rank_lo);
+  setters["rank_hi"] = set_double(&config.rank_hi);
+  setters["expiring_fraction"] = set_double(&config.expiring_fraction);
+  setters["mean_expiration"] = set_int64(&config.mean_expiration);
+  setters["expiration_shape"] = [&config](std::istringstream& fields) {
+    std::string shape;
+    fields >> shape;
+    config.expiration_shape = parse_duration_shape(shape);
+  };
+  setters["rank_drop_fraction"] = set_double(&config.rank_drop_fraction);
+  setters["mean_rank_drop_delay"] = set_int64(&config.mean_rank_drop_delay);
+  setters["dropped_rank"] = set_double(&config.dropped_rank);
+  setters["rank_raise_fraction"] = set_double(&config.rank_raise_fraction);
+  setters["mean_rank_raise_delay"] = set_int64(&config.mean_rank_raise_delay);
+  setters["user_frequency"] = set_double(&config.user_frequency);
+  setters["awake_start_mean"] = set_int64(&config.awake_start_mean);
+  setters["awake_start_jitter"] = set_int64(&config.awake_start_jitter);
+  setters["max"] = set_int(&config.max);
+  setters["threshold"] = set_double(&config.threshold);
+  setters["outage_fraction"] = set_double(&config.outage_fraction);
+  setters["mean_outage"] = set_int64(&config.mean_outage);
+  setters["outage_sigma"] = set_double(&config.outage_sigma);
+  setters["horizon"] = set_int64(&config.horizon);
+
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    auto setter = setters.find(key);
+    if (setter == setters.end()) {
+      fail(line_number, "unknown scenario key '" + key + "'");
+    }
+    setter->second(fields);
+    if (fields.fail()) fail(line_number, "bad value for '" + key + "'");
+  }
+  return config;
+}
+
+}  // namespace waif::workload

@@ -1,0 +1,39 @@
+// Text serialization for scenarios and traces.
+//
+// A Trace written to disk pins an experiment's exact inputs — every arrival,
+// read, outage and rank change — so a run can be shared and replayed
+// bit-for-bit elsewhere. Scenario configs use a simple `key value` line
+// format for the same reason.
+//
+// Trace format (line-oriented, '#' comments):
+//   waif-trace v1
+//   horizon <microseconds>
+//   arrival <time> <rank> <lifetime|never>
+//   read <time>
+//   outage <start> <end>
+//   rankchange <time> <arrival-index> <new-rank>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/scenario.h"
+#include "workload/trace.h"
+
+namespace waif::workload {
+
+/// Writes `trace` in the text format above.
+void write_trace(std::ostream& out, const Trace& trace);
+
+/// Parses a trace; throws std::invalid_argument with a line number on
+/// malformed input. Events are normalized (sorted) on load.
+Trace read_trace(std::istream& in);
+
+/// Writes a scenario as `key value` lines (all fields, defaults included).
+void write_scenario(std::ostream& out, const ScenarioConfig& config);
+
+/// Parses a scenario written by write_scenario (unknown keys are errors,
+/// missing keys keep their defaults). Durations are in microseconds.
+ScenarioConfig read_scenario(std::istream& in);
+
+}  // namespace waif::workload

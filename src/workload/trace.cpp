@@ -1,0 +1,152 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace waif::workload {
+
+std::vector<Arrival> generate_arrivals(const ScenarioConfig& config, Rng& rng) {
+  std::vector<Arrival> arrivals;
+  if (config.event_frequency <= 0.0) return arrivals;
+  WAIF_CHECK(config.rank_lo <= config.rank_hi);
+
+  const double mean_gap =
+      static_cast<double>(kDay) / config.event_frequency;  // microseconds
+  const Exponential gap(mean_gap);
+  const UniformReal rank(config.rank_lo, config.rank_hi);
+  const Bernoulli expires(config.expiring_fraction);
+  const DurationDistribution lifetime(config.expiration_shape,
+                                      config.mean_expiration);
+
+  arrivals.reserve(static_cast<std::size_t>(
+      config.event_frequency * to_days(config.horizon) * 1.1));
+  double t = gap(rng);
+  while (static_cast<SimTime>(t) < config.horizon) {
+    Arrival arrival;
+    arrival.time = static_cast<SimTime>(t);
+    arrival.rank = rank(rng);
+    if (config.mean_expiration > 0 && expires(rng)) {
+      arrival.lifetime = lifetime(rng);
+    }
+    arrivals.push_back(arrival);
+    t += gap(rng);
+  }
+  return arrivals;
+}
+
+std::vector<SimTime> generate_reads(const ScenarioConfig& config, Rng& rng) {
+  std::vector<SimTime> reads;
+  if (config.user_frequency <= 0.0) return reads;
+
+  const Normal start_jitter(static_cast<double>(config.awake_start_mean),
+                            static_cast<double>(config.awake_start_jitter));
+  const UniformReal awake_hours(16.0, 17.0);
+  const Normal per_day(config.user_frequency, config.user_frequency / 4.0);
+
+  const auto total_days = static_cast<std::int64_t>(to_days(config.horizon));
+  double credit = 0.0;
+  for (std::int64_t day = 0; day < total_days; ++day) {
+    // "The user checks for new messages a certain number of times per day
+    // chosen from a normal distribution (user frequency)". Fractional
+    // frequencies (0.25 = once every four days) accumulate as credit.
+    credit += std::max(0.0, per_day(rng));
+    auto count = static_cast<std::int64_t>(std::floor(credit));
+    credit -= static_cast<double>(count);
+    if (count == 0) continue;
+
+    const double awake_start =
+        std::max(0.0, start_jitter(rng));  // around 7am, jittered
+    const double awake_len = awake_hours(rng) * static_cast<double>(kHour);
+    const UniformReal within(awake_start, awake_start + awake_len);
+    for (std::int64_t i = 0; i < count; ++i) {
+      const double offset = within(rng);
+      const SimTime at =
+          day * kDay + static_cast<SimTime>(std::min(
+                           offset, static_cast<double>(kDay) - 1.0));
+      if (at < config.horizon) reads.push_back(at);
+    }
+  }
+  std::sort(reads.begin(), reads.end());
+  return reads;
+}
+
+net::OutageSchedule generate_outages(const ScenarioConfig& config, Rng& rng) {
+  const double p = config.outage_fraction;
+  if (p <= 0.0) return net::OutageSchedule::always_up(config.horizon);
+  if (p >= 1.0) return net::OutageSchedule::always_down(config.horizon);
+  WAIF_CHECK(config.mean_outage > 0);
+
+  // Alternating renewal process: up durations exponential (Poisson outage
+  // starts), down durations log-normal with sigma = outage_sigma (the
+  // paper's "high variance"). Means chosen so E[down]/(E[up]+E[down]) = p.
+  const double mean_down = static_cast<double>(config.mean_outage);
+  const double mean_up = mean_down * (1.0 - p) / p;
+  const Exponential up(mean_up);
+  const LogNormal down(mean_down, config.outage_sigma);
+
+  std::vector<net::Outage> outages;
+  double t = up(rng);
+  while (static_cast<SimTime>(t) < config.horizon) {
+    const double duration = down(rng);
+    outages.push_back(net::Outage{static_cast<SimTime>(t),
+                                  static_cast<SimTime>(t + duration)});
+    t += duration + up(rng);
+  }
+  return net::OutageSchedule(std::move(outages), config.horizon);
+}
+
+std::vector<RankChange> generate_rank_changes(
+    const ScenarioConfig& config, const std::vector<Arrival>& arrivals,
+    Rng& rng) {
+  std::vector<RankChange> changes;
+  if (config.rank_drop_fraction <= 0.0 && config.rank_raise_fraction <= 0.0) {
+    return changes;
+  }
+  const Bernoulli drops(config.rank_drop_fraction);
+  const Bernoulli raises(config.rank_raise_fraction);
+  const Exponential drop_delay(static_cast<double>(config.mean_rank_drop_delay));
+  const Exponential raise_delay(
+      static_cast<double>(config.mean_rank_raise_delay));
+
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const Arrival& arrival = arrivals[i];
+    if (drops(rng)) {
+      const SimTime at = arrival.time + static_cast<SimTime>(drop_delay(rng));
+      if (at < config.horizon) {
+        changes.push_back(RankChange{at, i, config.dropped_rank});
+      }
+    } else if (raises(rng)) {
+      const SimTime at = arrival.time + static_cast<SimTime>(raise_delay(rng));
+      const double boosted =
+          std::min(pubsub::kMaxRank, arrival.rank + 1.0);
+      if (at < config.horizon) changes.push_back(RankChange{at, i, boosted});
+    }
+  }
+  std::sort(changes.begin(), changes.end(),
+            [](const RankChange& a, const RankChange& b) {
+              return a.time < b.time;
+            });
+  return changes;
+}
+
+Trace generate_trace(const ScenarioConfig& config, std::uint64_t seed) {
+  Rng root(seed);
+  Rng arrivals_rng = root.split();
+  Rng reads_rng = root.split();
+  Rng outages_rng = root.split();
+  Rng changes_rng = root.split();
+
+  Trace trace;
+  trace.horizon = config.horizon;
+  trace.arrivals = generate_arrivals(config, arrivals_rng);
+  trace.reads = generate_reads(config, reads_rng);
+  trace.outages = generate_outages(config, outages_rng);
+  trace.rank_changes =
+      generate_rank_changes(config, trace.arrivals, changes_rng);
+  return trace;
+}
+
+}  // namespace waif::workload

@@ -1,0 +1,63 @@
+// Replayable event traces.
+//
+// A Trace is the fully materialized randomness of one scenario: every
+// notification arrival (with rank and lifetime), every user read instant,
+// every outage interval and every later rank change. The experiment harness
+// generates ONE trace per (config, seed) and replays it under each forwarding
+// policy, which is how the paper compares a policy's read set against the
+// on-line baseline "for each randomized set of discrete events".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/outage.h"
+#include "workload/scenario.h"
+
+namespace waif::workload {
+
+struct Arrival {
+  SimTime time = 0;
+  double rank = 0.0;
+  /// kNever when the publisher attached no expiration.
+  SimDuration lifetime = kNever;
+};
+
+struct RankChange {
+  SimTime time = 0;
+  /// Index into Trace::arrivals of the affected event.
+  std::size_t arrival_index = 0;
+  double new_rank = 0.0;
+};
+
+struct Trace {
+  std::vector<Arrival> arrivals;        // sorted by time
+  std::vector<SimTime> reads;           // sorted
+  std::vector<RankChange> rank_changes; // sorted by time
+  net::OutageSchedule outages;
+  SimTime horizon = 0;
+};
+
+/// Poisson arrivals at config.event_frequency per day with ranks and
+/// (optionally) expirations.
+std::vector<Arrival> generate_arrivals(const ScenarioConfig& config, Rng& rng);
+
+/// Daily read instants inside the awake window; see ScenarioConfig.
+std::vector<SimTime> generate_reads(const ScenarioConfig& config, Rng& rng);
+
+/// Alternating up/down renewal process calibrated to config.outage_fraction.
+net::OutageSchedule generate_outages(const ScenarioConfig& config, Rng& rng);
+
+/// Later rank drops/raises for a subset of `arrivals`.
+std::vector<RankChange> generate_rank_changes(const ScenarioConfig& config,
+                                              const std::vector<Arrival>& arrivals,
+                                              Rng& rng);
+
+/// The full trace. Each component draws from an independent RNG stream split
+/// off `seed`, so e.g. changing the outage parameters does not perturb the
+/// arrival sequence.
+Trace generate_trace(const ScenarioConfig& config, std::uint64_t seed);
+
+}  // namespace waif::workload

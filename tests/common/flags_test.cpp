@@ -1,0 +1,149 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace waif {
+namespace {
+
+/// parse() over a brace list of tokens.
+bool parse(FlagSet& flags, std::vector<const char*> args) {
+  return flags.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagSetTest, ParsesEqualsForm) {
+  double rate = 1.0;
+  FlagSet flags;
+  flags.add_double("rate", &rate, "event rate");
+  EXPECT_TRUE(parse(flags, {"--rate=32.5"}));
+  EXPECT_DOUBLE_EQ(rate, 32.5);
+}
+
+TEST(FlagSetTest, ParsesSpaceForm) {
+  std::int64_t count = 0;
+  FlagSet flags;
+  flags.add_int("count", &count, "how many");
+  EXPECT_TRUE(parse(flags, {"--count", "42"}));
+  EXPECT_EQ(count, 42);
+}
+
+TEST(FlagSetTest, BareBoolFlag) {
+  bool verbose = false;
+  FlagSet flags;
+  flags.add_bool("verbose", &verbose, "chatty");
+  EXPECT_TRUE(parse(flags, {"--verbose"}));
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagSetTest, ExplicitBoolValues) {
+  bool on = false;
+  FlagSet flags;
+  flags.add_bool("on", &on, "switch");
+  EXPECT_TRUE(parse(flags, {"--on=true"}));
+  EXPECT_TRUE(on);
+  EXPECT_TRUE(parse(flags, {"--on=false"}));
+  EXPECT_FALSE(on);
+  EXPECT_FALSE(parse(flags, {"--on=maybe"}));
+}
+
+TEST(FlagSetTest, StringFlag) {
+  std::string name = "default";
+  FlagSet flags;
+  flags.add_string("name", &name, "a name");
+  EXPECT_TRUE(parse(flags, {"--name=alice"}));
+  EXPECT_EQ(name, "alice");
+}
+
+TEST(FlagSetTest, DurationSuffixes) {
+  SimDuration d = 0;
+  FlagSet flags;
+  flags.add_duration("t", &d, "a duration");
+  EXPECT_TRUE(parse(flags, {"--t=250ms"}));
+  EXPECT_EQ(d, 250 * kMillisecond);
+  EXPECT_TRUE(parse(flags, {"--t=90s"}));
+  EXPECT_EQ(d, 90 * kSecond);
+  EXPECT_TRUE(parse(flags, {"--t=1.5h"}));
+  EXPECT_EQ(d, 90 * kMinute);
+  EXPECT_TRUE(parse(flags, {"--t=5d"}));
+  EXPECT_EQ(d, 5 * kDay);
+  EXPECT_TRUE(parse(flags, {"--t=30min"}));
+  EXPECT_EQ(d, 30 * kMinute);
+  EXPECT_TRUE(parse(flags, {"--t=17"}));  // bare number = seconds
+  EXPECT_EQ(d, 17 * kSecond);
+}
+
+TEST(FlagSetTest, BadDurationRejected) {
+  SimDuration d = 0;
+  FlagSet flags;
+  flags.add_duration("t", &d, "a duration");
+  EXPECT_FALSE(parse(flags, {"--t=fast"}));
+  EXPECT_FALSE(parse(flags, {"--t=10parsecs"}));
+}
+
+TEST(FlagSetTest, UnknownFlagRejected) {
+  FlagSet flags;
+  EXPECT_FALSE(parse(flags, {"--nope=1"}));
+}
+
+TEST(FlagSetTest, MissingValueRejected) {
+  std::int64_t count = 0;
+  FlagSet flags;
+  flags.add_int("count", &count, "how many");
+  EXPECT_FALSE(parse(flags, {"--count"}));
+}
+
+TEST(FlagSetTest, NonFlagArgumentRejected) {
+  FlagSet flags;
+  EXPECT_FALSE(parse(flags, {"positional"}));
+}
+
+TEST(FlagSetTest, HelpStopsParsing) {
+  bool verbose = false;
+  FlagSet flags("my tool");
+  flags.add_bool("verbose", &verbose, "chatty");
+  EXPECT_FALSE(parse(flags, {"--help"}));
+}
+
+TEST(FlagSetTest, HelpListsFlagsAndDefaults) {
+  double rate = 32.0;
+  FlagSet flags("tool description");
+  flags.add_double("rate", &rate, "event rate per day");
+  const std::string help = flags.help();
+  EXPECT_NE(help.find("tool description"), std::string::npos);
+  EXPECT_NE(help.find("--rate"), std::string::npos);
+  EXPECT_NE(help.find("32"), std::string::npos);
+  EXPECT_NE(help.find("event rate per day"), std::string::npos);
+}
+
+TEST(FlagSetTest, MultipleFlagsInOneLine) {
+  double uf = 0;
+  std::int64_t max = 0;
+  SimDuration horizon = 0;
+  FlagSet flags;
+  flags.add_double("uf", &uf, "");
+  flags.add_int("max", &max, "");
+  flags.add_duration("horizon", &horizon, "");
+  EXPECT_TRUE(parse(flags, {"--uf=2", "--max", "8", "--horizon=365d"}));
+  EXPECT_DOUBLE_EQ(uf, 2.0);
+  EXPECT_EQ(max, 8);
+  EXPECT_EQ(horizon, kYear);
+}
+
+TEST(FlagSetTest, ParseDurationDirect) {
+  EXPECT_EQ(FlagSet::parse_duration("4.2h"), hours(4.2));
+  EXPECT_EQ(FlagSet::parse_duration("0s"), 0);
+  EXPECT_FALSE(FlagSet::parse_duration("").has_value());
+  EXPECT_FALSE(FlagSet::parse_duration("h").has_value());
+}
+
+TEST(FlagSetTest, BadNumericValueRejected) {
+  std::int64_t count = 7;
+  FlagSet flags;
+  flags.add_int("count", &count, "");
+  EXPECT_FALSE(parse(flags, {"--count=seven"}));
+  EXPECT_EQ(count, 7);  // untouched
+}
+
+}  // namespace
+}  // namespace waif

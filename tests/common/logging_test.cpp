@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace waif {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kOff); }
+};
+
+TEST_F(LoggingTest, OffByDefault) {
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, LevelGatesLowerSeverities) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+}
+
+TEST_F(LoggingTest, DebugEnablesEverything) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+}
+
+TEST_F(LoggingTest, OffIsNeverEnabled) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_FALSE(log_enabled(LogLevel::kOff));
+}
+
+TEST_F(LoggingTest, MessageWhileDisabledIsANoOp) {
+  // Must not crash or print; nothing observable to assert beyond survival.
+  log_message(LogLevel::kInfo, 0, "test", "suppressed");
+  log_message(LogLevel::kError, -1, "test", "suppressed");
+}
+
+}  // namespace
+}  // namespace waif

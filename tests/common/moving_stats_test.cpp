@@ -1,0 +1,137 @@
+#include "common/moving_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace waif {
+namespace {
+
+TEST(MovingAverageTest, EmptyIsZero) {
+  MovingAverage avg(4);
+  EXPECT_TRUE(avg.empty());
+  EXPECT_DOUBLE_EQ(avg.value(), 0.0);
+  EXPECT_EQ(avg.count(), 0u);
+}
+
+TEST(MovingAverageTest, AveragesWithinWindow) {
+  MovingAverage avg(4);
+  avg.add(1.0);
+  avg.add(2.0);
+  avg.add(3.0);
+  EXPECT_DOUBLE_EQ(avg.value(), 2.0);
+  EXPECT_EQ(avg.count(), 3u);
+}
+
+TEST(MovingAverageTest, OldSamplesFallOut) {
+  MovingAverage avg(2);
+  avg.add(10.0);
+  avg.add(20.0);
+  avg.add(30.0);  // 10 falls out
+  EXPECT_DOUBLE_EQ(avg.value(), 25.0);
+  EXPECT_EQ(avg.count(), 2u);
+}
+
+TEST(MovingAverageTest, WindowOfOneTracksLastSample) {
+  MovingAverage avg(1);
+  avg.add(5.0);
+  EXPECT_DOUBLE_EQ(avg.value(), 5.0);
+  avg.add(-3.0);
+  EXPECT_DOUBLE_EQ(avg.value(), -3.0);
+}
+
+TEST(MovingAverageTest, ResetClears) {
+  MovingAverage avg(3);
+  avg.add(1.0);
+  avg.reset();
+  EXPECT_TRUE(avg.empty());
+  EXPECT_DOUBLE_EQ(avg.value(), 0.0);
+}
+
+TEST(IntervalAverageTest, NeedsTwoTimestamps) {
+  IntervalAverage intervals(4);
+  EXPECT_FALSE(intervals.value().has_value());
+  intervals.add(100.0);
+  EXPECT_FALSE(intervals.value().has_value());
+  intervals.add(130.0);
+  ASSERT_TRUE(intervals.value().has_value());
+  EXPECT_DOUBLE_EQ(*intervals.value(), 30.0);
+}
+
+TEST(IntervalAverageTest, AveragesConsecutiveDifferences) {
+  IntervalAverage intervals(8);
+  intervals.add(0.0);
+  intervals.add(10.0);
+  intervals.add(30.0);
+  intervals.add(60.0);
+  // diffs: 10, 20, 30
+  EXPECT_DOUBLE_EQ(*intervals.value(), 20.0);
+}
+
+TEST(IntervalAverageTest, WindowBoundsDifferences) {
+  IntervalAverage intervals(2);
+  intervals.add(0.0);
+  intervals.add(1.0);   // diff 1
+  intervals.add(3.0);   // diff 2
+  intervals.add(103.0); // diff 100; diff 1 falls out
+  EXPECT_DOUBLE_EQ(*intervals.value(), 51.0);
+}
+
+TEST(IntervalAverageTest, ResetForgetsLastTimestamp) {
+  IntervalAverage intervals(4);
+  intervals.add(5.0);
+  intervals.reset();
+  intervals.add(100.0);
+  EXPECT_FALSE(intervals.value().has_value());
+}
+
+TEST(EwmaTest, FirstSampleSeeds) {
+  Ewma ewma(0.5);
+  EXPECT_TRUE(ewma.empty());
+  ewma.add(10.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesTowardConstantInput) {
+  Ewma ewma(0.3);
+  ewma.add(0.0);
+  for (int i = 0; i < 100; ++i) ewma.add(50.0);
+  EXPECT_NEAR(ewma.value(), 50.0, 1e-6);
+}
+
+TEST(EwmaTest, AlphaOneTracksExactly) {
+  Ewma ewma(1.0);
+  ewma.add(1.0);
+  ewma.add(42.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 42.0);
+}
+
+TEST(OnlineStatsTest, SingleSample) {
+  OnlineStats stats;
+  stats.add(3.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, StddevIsSqrtVariance) {
+  OnlineStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), std::sqrt(2.0));
+}
+
+}  // namespace
+}  // namespace waif

@@ -1,0 +1,58 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace waif {
+namespace {
+
+TEST(TimeTest, UnitConstantsCompose) {
+  EXPECT_EQ(kMillisecond, 1000);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kYear, 365 * kDay);
+}
+
+TEST(TimeTest, ConstructorsMatchConstants) {
+  EXPECT_EQ(seconds(1.0), kSecond);
+  EXPECT_EQ(minutes(2.0), 2 * kMinute);
+  EXPECT_EQ(hours(0.5), 30 * kMinute);
+  EXPECT_EQ(days(1.0), kDay);
+  EXPECT_EQ(milliseconds(5), 5 * kMillisecond);
+  EXPECT_EQ(microseconds(7), 7);
+}
+
+TEST(TimeTest, FractionalConstruction) {
+  EXPECT_EQ(seconds(0.25), 250 * kMillisecond);
+  EXPECT_EQ(hours(1.5), 90 * kMinute);
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_hours(kDay), 24.0);
+  EXPECT_DOUBLE_EQ(to_days(kYear), 365.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(42.0)), 42.0);
+}
+
+TEST(TimeTest, OneVirtualYearFitsComfortably) {
+  // The paper's runs last one virtual year; the representation must have
+  // plenty of headroom.
+  EXPECT_LT(kYear, kNever / 1000);
+}
+
+TEST(TimeTest, FormatDurationPicksNaturalUnit) {
+  EXPECT_EQ(format_duration(500), "500us");
+  EXPECT_EQ(format_duration(5 * kMillisecond), "5ms");
+  EXPECT_EQ(format_duration(3 * kSecond), "3s");
+  EXPECT_EQ(format_duration(90 * kSecond), "1.5min");
+  EXPECT_EQ(format_duration(kHour * 4 + kMinute * 12), "4.2h");
+  EXPECT_EQ(format_duration(54 * kDay), "54d");
+}
+
+TEST(TimeTest, FormatDurationNegative) {
+  EXPECT_EQ(format_duration(-3 * kSecond), "-3s");
+}
+
+}  // namespace
+}  // namespace waif

@@ -1,0 +1,111 @@
+#include "core/context.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/channel.h"
+#include "device/device.h"
+#include "net/link.h"
+#include "pubsub/broker.h"
+#include "pubsub/publisher.h"
+#include "sim/simulator.h"
+
+namespace waif::core {
+namespace {
+
+class ContextRouterTest : public ::testing::Test {
+ protected:
+  static TopicConfig online_config() {
+    TopicConfig config;
+    config.mode = DeliveryMode::kOnLine;
+    config.policy = PolicyConfig::online();
+    return config;
+  }
+
+  sim::Simulator sim;
+  pubsub::Broker broker{sim};
+  net::Link link{sim};
+  device::Device device{sim, DeviceId{1}};
+  SimDeviceChannel channel{link, device};
+  Proxy proxy{sim, channel};
+  ContextRouter router{broker, proxy};
+};
+
+TEST_F(ContextRouterTest, RuleRequiresPlaceholder) {
+  EXPECT_THROW(router.add_rule("city", "traffic/static", online_config()),
+               std::invalid_argument);
+}
+
+TEST_F(ContextRouterTest, FirstUpdateSubscribes) {
+  router.add_rule("city", "traffic/{city}", online_config());
+  auto active = router.update_context("city", "tromso");
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], "traffic/tromso");
+  EXPECT_EQ(broker.subscriber_count("traffic/tromso"), 1u);
+  EXPECT_NE(proxy.topic("traffic/tromso"), nullptr);
+  EXPECT_EQ(router.stats().resubscriptions, 1u);
+}
+
+TEST_F(ContextRouterTest, MovingCityResubscribes) {
+  router.add_rule("city", "traffic/{city}", online_config());
+  router.update_context("city", "tromso");
+  router.update_context("city", "oslo");
+
+  EXPECT_EQ(broker.subscriber_count("traffic/tromso"), 0u);
+  EXPECT_EQ(broker.subscriber_count("traffic/oslo"), 1u);
+  EXPECT_EQ(proxy.topic("traffic/tromso"), nullptr);
+  EXPECT_NE(proxy.topic("traffic/oslo"), nullptr);
+  EXPECT_EQ(router.stats().resubscriptions, 2u);
+  EXPECT_EQ(*router.current_topic("traffic/{city}"), "traffic/oslo");
+}
+
+TEST_F(ContextRouterTest, SameValueIsNoOp) {
+  router.add_rule("city", "traffic/{city}", online_config());
+  router.update_context("city", "tromso");
+  router.update_context("city", "tromso");
+  EXPECT_EQ(router.stats().resubscriptions, 1u);
+  EXPECT_EQ(router.stats().context_updates, 2u);
+}
+
+TEST_F(ContextRouterTest, UnrelatedKeyDoesNotTouchRule) {
+  router.add_rule("city", "traffic/{city}", online_config());
+  router.update_context("city", "tromso");
+  auto active = router.update_context("country", "norway");
+  EXPECT_TRUE(active.empty());
+  EXPECT_EQ(broker.subscriber_count("traffic/tromso"), 1u);
+}
+
+TEST_F(ContextRouterTest, NotificationsFollowTheUser) {
+  router.add_rule("city", "traffic/{city}", online_config());
+  pubsub::Publisher tromso(broker, "tromso-roads");
+  pubsub::Publisher oslo(broker, "oslo-roads");
+
+  router.update_context("city", "tromso");
+  tromso.publish("traffic/tromso", 3.0);
+  EXPECT_EQ(device.queue_size(), 1u);
+
+  router.update_context("city", "oslo");
+  tromso.publish("traffic/tromso", 3.0);  // stale city: not delivered
+  EXPECT_EQ(device.queue_size(), 1u);
+  oslo.publish("traffic/oslo", 3.0);
+  EXPECT_EQ(device.queue_size(), 2u);
+}
+
+TEST_F(ContextRouterTest, MultipleRulesOnOneKey) {
+  router.add_rule("city", "traffic/{city}", online_config());
+  router.add_rule("city", "weather/{city}", online_config());
+  auto active = router.update_context("city", "bergen");
+  EXPECT_EQ(active.size(), 2u);
+  EXPECT_NE(proxy.topic("traffic/bergen"), nullptr);
+  EXPECT_NE(proxy.topic("weather/bergen"), nullptr);
+}
+
+TEST_F(ContextRouterTest, CurrentTopicBeforeAnyUpdateIsEmpty) {
+  router.add_rule("city", "traffic/{city}", online_config());
+  EXPECT_FALSE(router.current_topic("traffic/{city}").has_value());
+  EXPECT_FALSE(router.current_topic("unknown/{x}").has_value());
+}
+
+}  // namespace
+}  // namespace waif::core

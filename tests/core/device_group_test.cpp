@@ -1,0 +1,162 @@
+// Multi-device cooperation (Section 4): one device using the cache of
+// another over an ad-hoc network.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/time.h"
+#include "core/channel.h"
+#include "core/device_group.h"
+#include "core/proxy.h"
+#include "device/device.h"
+#include "net/link.h"
+#include "pubsub/broker.h"
+#include "pubsub/publisher.h"
+#include "sim/simulator.h"
+
+namespace waif::core {
+namespace {
+
+class DeviceGroupTest : public ::testing::Test {
+ protected:
+  static TopicConfig config_with(PolicyConfig policy, int max = 4,
+                                 double threshold = 0.0) {
+    TopicConfig config;
+    config.options.max = max;
+    config.options.threshold = threshold;
+    config.policy = policy;
+    return config;
+  }
+
+  void wire(TopicConfig config) {
+    phone_proxy.add_topic("news", config);
+    laptop_proxy.add_topic("news", config);
+    broker.subscribe("news", phone_proxy, config.options);
+    broker.subscribe("news", laptop_proxy, config.options);
+    phone_proxy.attach_to_link(phone_link);
+    laptop_proxy.attach_to_link(laptop_link);
+    group.add_member(phone_proxy, phone_channel);    // member 0
+    group.add_member(laptop_proxy, laptop_channel);  // member 1
+  }
+
+  sim::Simulator sim;
+  pubsub::Broker broker{sim};
+  net::Link phone_link{sim};
+  net::Link laptop_link{sim};
+  device::Device phone{sim, DeviceId{1}};
+  device::Device laptop{sim, DeviceId{2}};
+  SimDeviceChannel phone_channel{phone_link, phone};
+  SimDeviceChannel laptop_channel{laptop_link, laptop};
+  Proxy phone_proxy{sim, phone_channel, "phone-proxy"};
+  Proxy laptop_proxy{sim, laptop_channel, "laptop-proxy"};
+  DeviceGroup group{sim};
+  pubsub::Publisher publisher{broker, "p"};
+};
+
+TEST_F(DeviceGroupTest, ReadsLocallyWhenOwnCacheSuffices) {
+  wire(config_with(PolicyConfig::buffer(8), /*max=*/2));
+  publisher.publish("news", 3.0);
+  publisher.publish("news", 2.0);
+  auto read = group.user_read(0, "news");
+  EXPECT_EQ(read.size(), 2u);
+  EXPECT_EQ(group.stats().local_reads, 2u);
+  EXPECT_EQ(group.stats().peer_reads, 0u);
+}
+
+TEST_F(DeviceGroupTest, PeerCacheServesReadDuringOwnOutage) {
+  // The phone's link is down and its cache empty; the laptop prefetched the
+  // messages, so the user still gets them.
+  wire(config_with(PolicyConfig::buffer(8), /*max=*/4));
+  phone_link.set_state(net::LinkState::kDown);
+  publisher.publish("news", 3.0);
+  publisher.publish("news", 4.0);
+  ASSERT_EQ(laptop.queue_size(), 2u);
+  ASSERT_EQ(phone.queue_size(), 0u);
+
+  auto read = group.user_read(0, "news");
+  EXPECT_EQ(read.size(), 2u);
+  EXPECT_EQ(group.stats().peer_reads, 2u);
+  EXPECT_EQ(group.stats().adhoc_transfers, 2u);
+  EXPECT_EQ(laptop.queue_size(), 0u);
+}
+
+TEST_F(DeviceGroupTest, NoCooperationWithoutAdhocNetwork) {
+  wire(config_with(PolicyConfig::buffer(8), /*max=*/4));
+  group.set_adhoc_available(false);
+  phone_link.set_state(net::LinkState::kDown);
+  publisher.publish("news", 3.0);
+
+  auto read = group.user_read(0, "news");
+  EXPECT_TRUE(read.empty());
+  EXPECT_EQ(group.stats().peer_reads, 0u);
+  EXPECT_EQ(laptop.queue_size(), 1u);  // the laptop keeps its copy
+}
+
+TEST_F(DeviceGroupTest, DuplicatesAcrossCachesAreDiscarded) {
+  // Both devices prefetched the same notification; the user sees it once.
+  wire(config_with(PolicyConfig::buffer(8), /*max=*/4));
+  publisher.publish("news", 3.0);
+  ASSERT_EQ(phone.queue_size(), 1u);
+  ASSERT_EQ(laptop.queue_size(), 1u);
+  phone_link.set_state(net::LinkState::kDown);
+
+  auto read = group.user_read(0, "news");
+  EXPECT_EQ(read.size(), 1u);
+  EXPECT_EQ(group.stats().duplicates_discarded, 1u);
+  EXPECT_EQ(laptop.queue_size(), 0u);  // the stale copy was consumed
+}
+
+TEST_F(DeviceGroupTest, EarlierReadsDeduplicateLaterPeerPulls) {
+  wire(config_with(PolicyConfig::buffer(8), /*max=*/4));
+  publisher.publish("news", 3.0);
+  // Read on the phone first (its link is up): message consumed there.
+  auto first = group.user_read(0, "news");
+  ASSERT_EQ(first.size(), 1u);
+  // The laptop still holds its copy; a later group read on the laptop must
+  // not re-serve it.
+  auto second = group.user_read(1, "news");
+  EXPECT_TRUE(second.empty());
+  EXPECT_GE(group.stats().duplicates_discarded, 1u);
+}
+
+TEST_F(DeviceGroupTest, PeerProxyLearnsOfTheShrunkenCache) {
+  // With identical prefetch policies both caches hold the SAME top messages:
+  // the peer pull yields only duplicates (cooperation pays off when the
+  // devices' links or policies differ), but the peer's proxy still learns
+  // that its cache was drained and refills it from its backlog.
+  wire(config_with(PolicyConfig::buffer(2), /*max=*/4));
+  for (int i = 0; i < 6; ++i) publisher.publish("news", 1.0 + i * 0.1);
+  ASSERT_EQ(laptop.queue_size(), 2u);  // buffer limit
+  phone_link.set_state(net::LinkState::kDown);
+
+  auto read = group.user_read(0, "news");
+  EXPECT_EQ(read.size(), 2u);  // the duplicates added nothing
+  EXPECT_EQ(group.stats().duplicates_discarded, 2u);
+  EXPECT_EQ(group.stats().adhoc_transfers, 2u);
+  // The laptop's proxy was synced and refilled its buffer from its backlog.
+  EXPECT_EQ(laptop.queue_size(), 2u);
+}
+
+TEST_F(DeviceGroupTest, UnknownMemberThrows) {
+  wire(config_with(PolicyConfig::buffer(8)));
+  EXPECT_THROW(group.user_read(7, "news"), std::invalid_argument);
+}
+
+TEST_F(DeviceGroupTest, UnmanagedTopicThrows) {
+  wire(config_with(PolicyConfig::buffer(8)));
+  EXPECT_THROW(group.user_read(0, "nowhere"), std::invalid_argument);
+}
+
+TEST_F(DeviceGroupTest, GroupReadCountsAreConsistent) {
+  wire(config_with(PolicyConfig::buffer(8), /*max=*/2));
+  for (int i = 0; i < 4; ++i) publisher.publish("news", 1.0 + i);
+  group.user_read(0, "news");
+  group.user_read(1, "news");
+  EXPECT_EQ(group.stats().group_reads, 2u);
+  EXPECT_EQ(group.stats().local_reads + group.stats().peer_reads +
+                group.stats().duplicates_discarded,
+            group.stats().adhoc_transfers + 4u - 0u);
+}
+
+}  // namespace
+}  // namespace waif::core

@@ -1,0 +1,209 @@
+#include "core/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "common/time.h"
+#include "core/channel.h"
+#include "device/device.h"
+#include "net/link.h"
+#include "pubsub/broker.h"
+#include "pubsub/publisher.h"
+#include "sim/simulator.h"
+
+namespace waif::core {
+namespace {
+
+using pubsub::Notification;
+using pubsub::NotificationPtr;
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  NotificationPtr make(std::uint64_t id, const std::string& topic, double rank) {
+    auto n = std::make_shared<Notification>();
+    n->id = NotificationId{id};
+    n->topic = topic;
+    n->rank = rank;
+    n->published_at = sim.now();
+    return n;
+  }
+
+  static TopicConfig online_config() {
+    TopicConfig config;
+    config.policy = PolicyConfig::online();
+    return config;
+  }
+
+  sim::Simulator sim;
+  net::Link link{sim};
+  device::Device device{sim, DeviceId{1}};
+  SimDeviceChannel channel{link, device};
+  Proxy proxy{sim, channel, "test-proxy"};
+};
+
+TEST_F(ProxyTest, DispatchesByTopic) {
+  proxy.add_topic("a", online_config());
+  proxy.add_topic("b", online_config());
+  proxy.on_notification(make(1, "a", 1.0));
+  proxy.on_notification(make(2, "b", 1.0));
+  proxy.on_notification(make(3, "a", 1.0));
+  EXPECT_EQ(proxy.topic("a")->stats().arrivals, 2u);
+  EXPECT_EQ(proxy.topic("b")->stats().arrivals, 1u);
+  EXPECT_EQ(proxy.stats().notifications, 3u);
+}
+
+TEST_F(ProxyTest, UnknownTopicIsCountedAndDropped) {
+  proxy.on_notification(make(1, "nowhere", 1.0));
+  EXPECT_EQ(proxy.stats().unknown_topic_drops, 1u);
+  EXPECT_EQ(device.queue_size(), 0u);
+}
+
+TEST_F(ProxyTest, AddTopicTwiceThrows) {
+  proxy.add_topic("a", online_config());
+  EXPECT_THROW(proxy.add_topic("a", online_config()), std::invalid_argument);
+}
+
+TEST_F(ProxyTest, RemoveTopicDropsState) {
+  proxy.add_topic("a", online_config());
+  EXPECT_TRUE(proxy.remove_topic("a"));
+  EXPECT_FALSE(proxy.remove_topic("a"));
+  EXPECT_EQ(proxy.topic("a"), nullptr);
+  proxy.on_notification(make(1, "a", 1.0));
+  EXPECT_EQ(proxy.stats().unknown_topic_drops, 1u);
+}
+
+TEST_F(ProxyTest, HandleReadUnknownTopicThrows) {
+  EXPECT_THROW(proxy.handle_read("nowhere", ReadRequest{}),
+               std::invalid_argument);
+}
+
+TEST_F(ProxyTest, AttachToLinkForwardsOnRecovery) {
+  proxy.add_topic("a", online_config());
+  proxy.attach_to_link(link);
+  link.set_state(net::LinkState::kDown);
+  proxy.on_notification(make(1, "a", 1.0));
+  EXPECT_EQ(device.queue_size(), 0u);
+  link.set_state(net::LinkState::kUp);  // listener triggers try_forwarding
+  EXPECT_EQ(device.queue_size(), 1u);
+  EXPECT_EQ(proxy.stats().network_changes, 2u);
+}
+
+TEST_F(ProxyTest, TopicWithdrawnIsRecorded) {
+  proxy.on_topic_withdrawn("gone");
+  EXPECT_EQ(proxy.stats().topics_withdrawn, 1u);
+}
+
+// --- integration with a Broker and the LastHopSession ----------------------
+
+class SessionTest : public ::testing::Test {
+ protected:
+  static TopicConfig config_with(PolicyConfig policy, int max = 8,
+                                 double threshold = 0.0) {
+    TopicConfig config;
+    config.options.max = max;
+    config.options.threshold = threshold;
+    config.policy = policy;
+    return config;
+  }
+
+  sim::Simulator sim;
+  pubsub::Broker broker{sim};
+  net::Link link{sim};
+  device::Device device{sim, DeviceId{1}};
+  SimDeviceChannel channel{link, device};
+  Proxy proxy{sim, channel};
+  LastHopSession session{proxy, channel};
+};
+
+TEST_F(SessionTest, EndToEndOnDemandRead) {
+  proxy.add_topic("news", config_with(PolicyConfig::on_demand(), /*max=*/2));
+  broker.subscribe("news", proxy);
+  pubsub::Publisher publisher(broker, "p");
+  publisher.publish("news", 1.0);
+  publisher.publish("news", 4.0);
+  publisher.publish("news", 3.0);
+
+  auto read = session.user_read("news");
+  ASSERT_EQ(read.size(), 2u);
+  EXPECT_DOUBLE_EQ(read[0]->rank, 4.0);
+  EXPECT_DOUBLE_EQ(read[1]->rank, 3.0);
+  EXPECT_EQ(session.total_read(), 2u);
+  // Pure on-demand: exactly the read messages crossed the link.
+  EXPECT_EQ(link.stats().downlink_messages, 2u);
+  EXPECT_EQ(link.stats().uplink_messages, 1u);
+}
+
+TEST_F(SessionTest, ReadDuringOutageServesDeviceQueueOnly) {
+  proxy.add_topic("news", config_with(PolicyConfig::buffer(1), /*max=*/2));
+  broker.subscribe("news", proxy);
+  proxy.attach_to_link(link);
+  pubsub::Publisher publisher(broker, "p");
+  publisher.publish("news", 4.0);  // prefetched (limit 1)
+  publisher.publish("news", 5.0);  // stays at proxy
+
+  link.set_state(net::LinkState::kDown);
+  auto read = session.user_read("news");
+  ASSERT_EQ(read.size(), 1u);
+  EXPECT_DOUBLE_EQ(read[0]->rank, 4.0);  // only the prefetched one
+  EXPECT_EQ(link.stats().uplink_messages, 0u);  // no READ was sent
+}
+
+TEST_F(SessionTest, ThresholdAppliesOnRead) {
+  proxy.add_topic("news",
+                  config_with(PolicyConfig::on_demand(), /*max=*/10,
+                              /*threshold=*/4.5));
+  broker.subscribe("news", proxy);
+  pubsub::Publisher publisher(broker, "p");
+  publisher.publish("news", 4.0);
+  publisher.publish("news", 4.6);
+  publisher.publish("news", 4.9);
+
+  auto read = session.user_read("news");
+  ASSERT_EQ(read.size(), 2u);
+  EXPECT_DOUBLE_EQ(read[0]->rank, 4.9);
+  EXPECT_DOUBLE_EQ(read[1]->rank, 4.6);
+}
+
+TEST_F(SessionTest, UnmanagedTopicThrows) {
+  EXPECT_THROW(session.user_read("nowhere"), std::invalid_argument);
+}
+
+TEST_F(SessionTest, SlashdotScenario) {
+  // Section 2.2: "request the highest-ranked stories above threshold 4.5, but
+  // not more than 30 at a time" — and catch up after a month away.
+  proxy.add_topic("slashdot",
+                  config_with(PolicyConfig::on_demand(), /*max=*/30,
+                              /*threshold=*/4.5));
+  broker.subscribe("slashdot", proxy);
+  pubsub::Publisher publisher(broker, "slashdot");
+  // A month of stories: 200, of which 50 clear the threshold.
+  int above = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double rank = (i % 4 == 0) ? 4.6 : 3.0;
+    above += rank >= 4.5 ? 1 : 0;
+    publisher.publish("slashdot", rank);
+  }
+  ASSERT_EQ(above, 50);
+
+  auto read = session.user_read("slashdot");
+  EXPECT_EQ(read.size(), 30u);  // Max caps the catch-up read
+  for (const auto& story : read) EXPECT_GE(story->rank, 4.5);
+}
+
+TEST_F(SessionTest, RepeatedReadsDrainBacklog) {
+  proxy.add_topic("news", config_with(PolicyConfig::on_demand(), /*max=*/5));
+  broker.subscribe("news", proxy);
+  pubsub::Publisher publisher(broker, "p");
+  for (int i = 0; i < 12; ++i) publisher.publish("news", 1.0 + 0.01 * i);
+
+  EXPECT_EQ(session.user_read("news").size(), 5u);
+  EXPECT_EQ(session.user_read("news").size(), 5u);
+  EXPECT_EQ(session.user_read("news").size(), 2u);
+  EXPECT_EQ(session.user_read("news").size(), 0u);
+  EXPECT_EQ(session.total_read(), 12u);
+}
+
+}  // namespace
+}  // namespace waif::core

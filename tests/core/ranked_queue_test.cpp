@@ -1,0 +1,140 @@
+#include "core/ranked_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/time.h"
+
+namespace waif::core {
+namespace {
+
+pubsub::NotificationPtr make(std::uint64_t id, double rank,
+                             SimTime published = 0) {
+  auto n = std::make_shared<pubsub::Notification>();
+  n->id = NotificationId{id};
+  n->topic = "t";
+  n->rank = rank;
+  n->published_at = published;
+  return n;
+}
+
+TEST(RankedQueueTest, StartsEmpty) {
+  RankedQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.top(), nullptr);
+  EXPECT_EQ(queue.pop_top(), nullptr);
+}
+
+TEST(RankedQueueTest, TopIsHighestRank) {
+  RankedQueue queue;
+  queue.insert(make(1, 2.0));
+  queue.insert(make(2, 5.0));
+  queue.insert(make(3, 3.5));
+  ASSERT_NE(queue.top(), nullptr);
+  EXPECT_EQ(queue.top()->id.value, 2u);
+  EXPECT_EQ(queue.size(), 3u);
+}
+
+TEST(RankedQueueTest, PopTopDrainsInRankOrder) {
+  RankedQueue queue;
+  queue.insert(make(1, 2.0));
+  queue.insert(make(2, 5.0));
+  queue.insert(make(3, 3.5));
+  EXPECT_EQ(queue.pop_top()->id.value, 2u);
+  EXPECT_EQ(queue.pop_top()->id.value, 3u);
+  EXPECT_EQ(queue.pop_top()->id.value, 1u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(RankedQueueTest, InsertReturnsWhetherNew) {
+  RankedQueue queue;
+  EXPECT_TRUE(queue.insert(make(1, 2.0)));
+  EXPECT_FALSE(queue.insert(make(1, 4.0)));  // replacement
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_DOUBLE_EQ(queue.top()->rank, 4.0);  // reordered by new rank
+}
+
+TEST(RankedQueueTest, EraseById) {
+  RankedQueue queue;
+  queue.insert(make(1, 2.0));
+  queue.insert(make(2, 5.0));
+  auto removed = queue.erase(NotificationId{2});
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->id.value, 2u);
+  EXPECT_FALSE(queue.contains(NotificationId{2}));
+  EXPECT_EQ(queue.erase(NotificationId{2}), nullptr);
+}
+
+TEST(RankedQueueTest, TopNRespectsThresholdAndCount) {
+  RankedQueue queue;
+  queue.insert(make(1, 1.0));
+  queue.insert(make(2, 3.0));
+  queue.insert(make(3, 4.5));
+  queue.insert(make(4, 2.0));
+  auto top = queue.top_n(2, 2.0);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0]->id.value, 3u);
+  EXPECT_EQ(top[1]->id.value, 2u);
+
+  auto all_above = queue.top_n(100, 2.0);
+  EXPECT_EQ(all_above.size(), 3u);  // rank 1.0 excluded
+
+  EXPECT_TRUE(queue.top_n(0, 0.0).empty());
+}
+
+TEST(RankedQueueTest, EqualRanksPreferNewer) {
+  RankedQueue queue;
+  queue.insert(make(1, 3.0, 100));
+  queue.insert(make(2, 3.0, 200));
+  EXPECT_EQ(queue.top()->id.value, 2u);
+}
+
+TEST(RankedQueueTest, ClearEmpties) {
+  RankedQueue queue;
+  queue.insert(make(1, 1.0));
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.contains(NotificationId{1}));
+}
+
+TEST(RankedQueueTest, IterationIsRankOrdered) {
+  RankedQueue queue;
+  queue.insert(make(1, 1.0));
+  queue.insert(make(2, 2.0));
+  queue.insert(make(3, 3.0));
+  double last = 99.0;
+  for (const auto& n : queue) {
+    EXPECT_LE(n->rank, last);
+    last = n->rank;
+  }
+}
+
+TEST(TopNAcrossTest, MergesAndDeduplicates) {
+  RankedQueue a;
+  RankedQueue b;
+  a.insert(make(1, 5.0));
+  a.insert(make(2, 1.0));
+  b.insert(make(3, 4.0));
+  b.insert(make(1, 5.0));  // same id in both queues
+
+  auto top = top_n_across({&a, &b}, 3, 0.0);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0]->id.value, 1u);
+  EXPECT_EQ(top[1]->id.value, 3u);
+  EXPECT_EQ(top[2]->id.value, 2u);
+}
+
+TEST(TopNAcrossTest, ThresholdApplies) {
+  RankedQueue a;
+  RankedQueue b;
+  a.insert(make(1, 1.0));
+  b.insert(make(2, 4.0));
+  auto top = top_n_across({&a, &b}, 10, 3.0);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0]->id.value, 2u);
+}
+
+}  // namespace
+}  // namespace waif::core

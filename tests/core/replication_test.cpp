@@ -1,0 +1,155 @@
+// Proxy replication (Section 4): warm standby, asynchronous state transfer,
+// manual failover, duplicate-transfer window.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/time.h"
+#include "core/replication.h"
+#include "device/device.h"
+#include "net/link.h"
+#include "pubsub/broker.h"
+#include "pubsub/publisher.h"
+#include "sim/simulator.h"
+
+namespace waif::core {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  static TopicConfig config_with(PolicyConfig policy, int max = 4) {
+    TopicConfig config;
+    config.options.max = max;
+    config.policy = policy;
+    return config;
+  }
+
+  void wire(TopicConfig config, ReplicationConfig replication = {}) {
+    replicated = std::make_unique<ReplicatedProxy>(sim, link, device,
+                                                   replication);
+    replicated->add_topic("news", config);
+    broker.subscribe("news", *replicated, config.options);
+  }
+
+  sim::Simulator sim;
+  pubsub::Broker broker{sim};
+  net::Link link{sim};
+  device::Device device{sim, DeviceId{1}};
+  std::unique_ptr<ReplicatedProxy> replicated;
+  pubsub::Publisher publisher{broker, "p"};
+};
+
+TEST_F(ReplicationTest, OnlyTheActiveReplicaForwards) {
+  wire(config_with(PolicyConfig::buffer(8)));
+  publisher.publish("news", 3.0);
+  sim.run_until(kMinute);
+  // Exactly one transfer despite two replicas holding the event.
+  EXPECT_EQ(device.stats().received, 1u);
+  EXPECT_EQ(device.stats().duplicate_receives, 0u);
+  EXPECT_TRUE(replicated->primary_is_active());
+  EXPECT_EQ(replicated->live_replicas(), 2u);
+}
+
+TEST_F(ReplicationTest, ForwardRecordsReachTheStandby) {
+  wire(config_with(PolicyConfig::buffer(8)));
+  auto n = publisher.publish("news", 3.0);
+  EXPECT_FALSE(
+      replicated->standby_proxy().topic("news")->was_forwarded(n->id));
+  sim.run_until(kMinute);  // replication latency elapses
+  EXPECT_TRUE(
+      replicated->standby_proxy().topic("news")->was_forwarded(n->id));
+  EXPECT_EQ(replicated->stats().replicated_forwards, 1u);
+}
+
+TEST_F(ReplicationTest, FailoverPromotesTheStandbySeamlessly) {
+  wire(config_with(PolicyConfig::buffer(8)));
+  publisher.publish("news", 3.0);
+  sim.run_until(kMinute);  // replication settles
+
+  replicated->fail_active();
+  EXPECT_FALSE(replicated->primary_is_active());
+  EXPECT_EQ(replicated->live_replicas(), 1u);
+  EXPECT_EQ(replicated->stats().failovers, 1u);
+
+  // The promoted replica keeps serving: new events flow, no duplicates.
+  publisher.publish("news", 4.0);
+  sim.run_until(2 * kMinute);
+  EXPECT_EQ(device.stats().received, 2u);
+  EXPECT_EQ(device.stats().duplicate_receives, 0u);
+}
+
+TEST_F(ReplicationTest, UnreplicatedForwardsDuplicateAfterFailover) {
+  // Failover inside the asynchrony window: the standby never learned of the
+  // forward and re-sends it.
+  ReplicationConfig slow;
+  slow.replication_latency = kHour;
+  wire(config_with(PolicyConfig::buffer(8)), slow);
+  publisher.publish("news", 3.0);
+  EXPECT_EQ(device.stats().received, 1u);
+
+  replicated->fail_active();  // before the record arrives
+  sim.run_until(2 * kHour);
+  EXPECT_EQ(device.stats().duplicate_receives, 1u);
+  EXPECT_GE(replicated->stats().late_records, 1u);
+}
+
+TEST_F(ReplicationTest, ReadsAreServedAndReplicated) {
+  wire(config_with(PolicyConfig::buffer(8), /*max=*/2));
+  publisher.publish("news", 3.0);
+  publisher.publish("news", 4.0);
+  auto read = replicated->user_read("news");
+  EXPECT_EQ(read.size(), 2u);
+  EXPECT_GE(replicated->stats().replicated_reads, 1u);
+  sim.run_until(kMinute);
+  // The standby's view followed the read.
+  EXPECT_EQ(replicated->standby_proxy().topic("news")->stats().sync_requests,
+            1u);
+}
+
+TEST_F(ReplicationTest, ReadsKeepWorkingAfterFailover) {
+  wire(config_with(PolicyConfig::buffer(8), /*max=*/4));
+  publisher.publish("news", 3.0);
+  sim.run_until(kMinute);
+  replicated->fail_active();
+  publisher.publish("news", 4.0);
+  auto read = replicated->user_read("news");
+  EXPECT_EQ(read.size(), 2u);  // both messages, exactly once
+}
+
+TEST_F(ReplicationTest, OfflineReadsSurviveFailover) {
+  // The offline read log is device-side state; a proxy failover must not
+  // lose it.
+  wire(config_with(PolicyConfig::adaptive(), /*max=*/4));
+  link.set_state(net::LinkState::kDown);
+  replicated->user_read("news");  // logged on the device
+  replicated->fail_active();
+  link.set_state(net::LinkState::kUp);
+  // The promoted replica received the deferred sync and trained on it.
+  EXPECT_EQ(
+      replicated->active_proxy().topic("news")->effective_prefetch_limit(),
+      8u);  // 2 * 4
+}
+
+TEST_F(ReplicationTest, DoubleFailureThrows) {
+  wire(config_with(PolicyConfig::buffer(8)));
+  replicated->fail_active();
+  EXPECT_THROW(replicated->fail_active(), std::logic_error);
+}
+
+TEST_F(ReplicationTest, CrashedReplicaStopsReceiving) {
+  wire(config_with(PolicyConfig::buffer(8)));
+  replicated->fail_active();
+  Proxy& dead = replicated->standby_proxy();  // index 0 after failover...
+  // After failover the non-active slot is the crashed primary.
+  const auto arrivals_before = dead.topic("news")->stats().arrivals;
+  publisher.publish("news", 3.0);
+  EXPECT_EQ(dead.topic("news")->stats().arrivals, arrivals_before);
+}
+
+TEST_F(ReplicationTest, UnmanagedTopicThrows) {
+  wire(config_with(PolicyConfig::buffer(8)));
+  EXPECT_THROW(replicated->user_read("nowhere"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace waif::core

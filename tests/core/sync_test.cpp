@@ -1,0 +1,152 @@
+// The deferred queue-state sync: offline reads are logged on the device and
+// reported to the proxy at reconnection, correcting the drifting queue-size
+// view and training the proxy's moving averages.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/time.h"
+#include "core/channel.h"
+#include "core/proxy.h"
+#include "device/device.h"
+#include "net/link.h"
+#include "pubsub/broker.h"
+#include "pubsub/publisher.h"
+#include "sim/simulator.h"
+
+namespace waif::core {
+namespace {
+
+class SyncTest : public ::testing::Test {
+ protected:
+  static TopicConfig config_with(PolicyConfig policy, int max = 4) {
+    TopicConfig config;
+    config.options.max = max;
+    config.policy = policy;
+    return config;
+  }
+
+  void publish_n(int count, double rank = 3.0) {
+    for (int i = 0; i < count; ++i) publisher.publish("t", rank);
+  }
+
+  sim::Simulator sim;
+  pubsub::Broker broker{sim};
+  net::Link link{sim};
+  device::Device device{sim, DeviceId{1}};
+  SimDeviceChannel channel{link, device};
+  Proxy proxy{sim, channel};
+  pubsub::Publisher publisher{broker, "p"};
+
+  void wire(const std::string& topic, TopicConfig config) {
+    proxy.add_topic(topic, config);
+    broker.subscribe(topic, proxy, config.options);
+    proxy.attach_to_link(link);
+  }
+};
+
+TEST_F(SyncTest, OfflineReadsAreLoggedAndFlushedAtReconnect) {
+  wire("t", config_with(PolicyConfig::buffer(4), /*max=*/4));
+  LastHopSession session(proxy, channel);
+  publish_n(8);
+  ASSERT_EQ(device.queue_size(), 4u);  // buffer full
+
+  link.set_state(net::LinkState::kDown);
+  auto read = session.user_read("t");
+  EXPECT_EQ(read.size(), 4u);  // served locally
+  EXPECT_EQ(session.pending_syncs(), 1u);
+  EXPECT_EQ(device.queue_size(), 0u);  // drained, proxy cannot know yet
+  EXPECT_EQ(proxy.topic("t")->queue_size_view(), 4u);  // stale view
+
+  link.set_state(net::LinkState::kUp);
+  EXPECT_EQ(session.pending_syncs(), 0u);
+  EXPECT_EQ(proxy.topic("t")->stats().sync_requests, 1u);
+  // The sync corrected the view and the buffer refilled from the backlog.
+  EXPECT_EQ(device.queue_size(), 4u);
+}
+
+TEST_F(SyncTest, PureOnDemandDoesNotDefer) {
+  wire("t", config_with(PolicyConfig::on_demand()));
+  LastHopSession session(proxy, channel);
+  publish_n(8);
+  link.set_state(net::LinkState::kDown);
+  session.user_read("t");
+  EXPECT_EQ(session.pending_syncs(), 0u);
+  link.set_state(net::LinkState::kUp);
+  EXPECT_EQ(proxy.topic("t")->stats().sync_requests, 0u);
+  EXPECT_EQ(device.queue_size(), 0u);  // nothing was pushed
+}
+
+TEST_F(SyncTest, SyncTrainsAdaptiveAverages) {
+  wire("t", config_with(PolicyConfig::adaptive(), /*max=*/4));
+  LastHopSession session(proxy, channel);
+  TopicState* state = proxy.topic("t");
+  EXPECT_EQ(state->effective_prefetch_limit(), 0u);  // untrained
+
+  link.set_state(net::LinkState::kDown);
+  sim.schedule_at(hours(1.0), [&] { session.user_read("t"); });
+  sim.schedule_at(hours(9.0), [&] { session.user_read("t"); });
+  sim.schedule_at(hours(10.0), [&] { link.set_state(net::LinkState::kUp); });
+  sim.run_until(kDay);
+
+  // Both offline reads trained the averages at reconnection.
+  EXPECT_EQ(state->effective_prefetch_limit(), 8u);  // 2 * mean(4, 4)
+  ASSERT_TRUE(state->average_read_interval().has_value());
+  EXPECT_EQ(*state->average_read_interval(), hours(8.0));
+}
+
+TEST_F(SyncTest, MultipleOfflineReadsOneSync) {
+  wire("t", config_with(PolicyConfig::buffer(8), /*max=*/2));
+  LastHopSession session(proxy, channel);
+  publish_n(8);
+  link.set_state(net::LinkState::kDown);
+  session.user_read("t");
+  session.user_read("t");
+  session.user_read("t");
+  EXPECT_EQ(session.pending_syncs(), 1u);  // one topic, one pending sync
+  link.set_state(net::LinkState::kUp);
+  EXPECT_EQ(proxy.topic("t")->stats().sync_requests, 1u);
+  // One uplink message carried the whole read log.
+  EXPECT_EQ(link.stats().uplink_messages, 1u);
+}
+
+TEST_F(SyncTest, SyncForRemovedTopicIsDropped) {
+  wire("t", config_with(PolicyConfig::buffer(8)));
+  LastHopSession session(proxy, channel);
+  publish_n(4);
+  link.set_state(net::LinkState::kDown);
+  session.user_read("t");
+  proxy.remove_topic("t");
+  link.set_state(net::LinkState::kUp);  // must not throw
+  EXPECT_EQ(link.stats().uplink_messages, 0u);
+}
+
+TEST_F(SyncTest, HandleSyncDirectlyUpdatesViewAndForwards) {
+  wire("t", config_with(PolicyConfig::buffer(2)));
+  publish_n(6);
+  TopicState* state = proxy.topic("t");
+  EXPECT_EQ(device.queue_size(), 2u);
+  device.read(2, 0.0);
+  EXPECT_EQ(state->queue_size_view(), 2u);  // stale
+  proxy.handle_sync("t", device.queue_size());
+  EXPECT_EQ(state->stats().sync_requests, 1u);
+  EXPECT_EQ(device.queue_size(), 2u);  // refilled
+}
+
+TEST_F(SyncTest, HandleSyncUnknownTopicThrows) {
+  EXPECT_THROW(proxy.handle_sync("nowhere", 0), std::invalid_argument);
+}
+
+TEST_F(SyncTest, SyncWithReadLogFeedsRecordsInOrder) {
+  wire("t", config_with(PolicyConfig::adaptive(), /*max=*/6));
+  TopicState* state = proxy.topic("t");
+  std::vector<ReadRecord> log{{hours(2.0), 6}, {hours(10.0), 6}};
+  sim.schedule_at(hours(12.0), [&] { proxy.handle_sync("t", 0, log); });
+  sim.run();
+  EXPECT_EQ(state->effective_prefetch_limit(), 12u);  // 2 * 6
+  ASSERT_TRUE(state->average_read_interval().has_value());
+  EXPECT_EQ(*state->average_read_interval(), hours(8.0));
+}
+
+}  // namespace
+}  // namespace waif::core

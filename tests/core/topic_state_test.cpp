@@ -1,0 +1,500 @@
+#include "core/topic_state.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/time.h"
+#include "core/channel.h"
+#include "device/device.h"
+#include "net/link.h"
+#include "sim/simulator.h"
+
+namespace waif::core {
+namespace {
+
+using pubsub::Notification;
+using pubsub::NotificationPtr;
+
+class TopicStateTest : public ::testing::Test {
+ protected:
+  NotificationPtr make(std::uint64_t id, double rank,
+                       SimDuration lifetime = kNever) {
+    auto n = std::make_shared<Notification>();
+    n->id = NotificationId{id};
+    n->topic = "t";
+    n->rank = rank;
+    n->published_at = sim.now();
+    n->expires_at = lifetime == kNever ? kNever : sim.now() + lifetime;
+    return n;
+  }
+
+  std::unique_ptr<TopicState> make_state(TopicConfig config) {
+    return std::make_unique<TopicState>(sim, channel, "t", config);
+  }
+
+  static TopicConfig config_with(PolicyConfig policy, int max = 8,
+                                 double threshold = 0.0) {
+    TopicConfig config;
+    config.mode = DeliveryMode::kOnDemand;
+    config.options.max = max;
+    config.options.threshold = threshold;
+    config.policy = policy;
+    return config;
+  }
+
+  /// A read request reflecting the device's actual contents.
+  ReadRequest request_from_device(int n, double threshold = 0.0) {
+    ReadRequest request;
+    request.n = n;
+    request.queue_size = device.queue_size("t");
+    request.client_events = device.top_ids("t", n, threshold);
+    return request;
+  }
+
+  sim::Simulator sim;
+  net::Link link{sim};
+  device::Device device{sim, DeviceId{1}};
+  SimDeviceChannel channel{link, device};
+};
+
+// ------------------------------------------------------------ online policy
+
+TEST_F(TopicStateTest, OnlineForwardsImmediately) {
+  auto state = make_state(config_with(PolicyConfig::online()));
+  state->handle_notification(make(1, 3.0));
+  EXPECT_TRUE(device.contains(NotificationId{1}));
+  EXPECT_EQ(state->stats().forwarded, 1u);
+  EXPECT_EQ(state->outgoing_size(), 0u);
+}
+
+TEST_F(TopicStateTest, OnlineQueuesDuringOutageAndFlushesOnLinkUp) {
+  auto state = make_state(config_with(PolicyConfig::online()));
+  link.set_state(net::LinkState::kDown);
+  state->handle_notification(make(1, 3.0));
+  state->handle_notification(make(2, 1.0));
+  EXPECT_EQ(device.queue_size(), 0u);
+  EXPECT_EQ(state->outgoing_size(), 2u);
+
+  link.set_state(net::LinkState::kUp);
+  state->handle_network(net::LinkState::kUp);
+  EXPECT_EQ(device.queue_size(), 2u);
+  EXPECT_EQ(state->outgoing_size(), 0u);
+}
+
+TEST_F(TopicStateTest, OnLineModeBypassesPolicy) {
+  // An on-line *topic* forwards ASAP even under an on-demand policy.
+  TopicConfig config = config_with(PolicyConfig::on_demand());
+  config.mode = DeliveryMode::kOnLine;
+  auto state = make_state(config);
+  state->handle_notification(make(1, 3.0));
+  EXPECT_TRUE(device.contains(NotificationId{1}));
+}
+
+// --------------------------------------------------------- on-demand policy
+
+TEST_F(TopicStateTest, OnDemandNeverForwardsOnArrival) {
+  auto state = make_state(config_with(PolicyConfig::on_demand()));
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    state->handle_notification(make(i, static_cast<double>(i) / 2.0));
+  }
+  EXPECT_EQ(device.queue_size(), 0u);
+  EXPECT_EQ(state->prefetch_size(), 5u);
+  EXPECT_EQ(state->stats().forwarded, 0u);
+}
+
+TEST_F(TopicStateTest, ReadForwardsTheDifference) {
+  auto state = make_state(config_with(PolicyConfig::on_demand(), /*max=*/2));
+  state->handle_notification(make(1, 1.0));
+  state->handle_notification(make(2, 5.0));
+  state->handle_notification(make(3, 3.0));
+
+  auto difference = state->handle_read(request_from_device(2));
+  ASSERT_EQ(difference.size(), 2u);
+  EXPECT_EQ(difference[0]->id.value, 2u);
+  EXPECT_EQ(difference[1]->id.value, 3u);
+  EXPECT_TRUE(device.contains(NotificationId{2}));
+  EXPECT_TRUE(device.contains(NotificationId{3}));
+  EXPECT_FALSE(device.contains(NotificationId{1}));
+}
+
+TEST_F(TopicStateTest, ReadSkipsWhatTheClientAlreadyHas) {
+  auto state = make_state(config_with(PolicyConfig::on_demand(), /*max=*/2));
+  // The device already holds the two best events.
+  auto a = make(1, 5.0);
+  auto b = make(2, 4.0);
+  state->handle_notification(a);
+  state->handle_notification(b);
+  state->handle_read(request_from_device(2));
+  ASSERT_EQ(device.queue_size(), 2u);
+  const auto downlink_before = link.stats().downlink_messages;
+
+  // Proxy now has only worse events; a read must transfer nothing: "with
+  // effective prefetching this set may be better than anything available in
+  // queues on the server, making any transfer unnecessary".
+  state->handle_notification(make(3, 1.0));
+  auto difference = state->handle_read(request_from_device(2));
+  EXPECT_TRUE(difference.empty());
+  EXPECT_EQ(link.stats().downlink_messages, downlink_before);
+}
+
+TEST_F(TopicStateTest, ReadForwardsOnlyBetterEvents) {
+  auto state = make_state(config_with(PolicyConfig::on_demand(), /*max=*/2));
+  auto mediocre = make(1, 3.0);
+  state->handle_notification(mediocre);
+  state->handle_read(request_from_device(2));
+  ASSERT_TRUE(device.contains(NotificationId{1}));
+
+  // One better, one worse event at the proxy; N=2 -> only the better one
+  // displaces nothing the client has (client keeps its copy, gains #2).
+  state->handle_notification(make(2, 4.0));
+  state->handle_notification(make(3, 1.0));
+  auto difference = state->handle_read(request_from_device(2));
+  ASSERT_EQ(difference.size(), 1u);
+  EXPECT_EQ(difference[0]->id.value, 2u);
+}
+
+TEST_F(TopicStateTest, ReadDuringOutageTransfersNothing) {
+  auto state = make_state(config_with(PolicyConfig::on_demand()));
+  state->handle_notification(make(1, 3.0));
+  link.set_state(net::LinkState::kDown);
+  // (The session layer would not even send the READ; if one arrives, the
+  // difference is queued in outgoing but cannot be transferred.)
+  auto difference = state->handle_read(request_from_device(8));
+  EXPECT_EQ(device.queue_size(), 0u);
+  EXPECT_EQ(state->outgoing_size(), difference.size());
+}
+
+// --------------------------------------------------------------- threshold
+
+TEST_F(TopicStateTest, FreshSubThresholdArrivalsAreDropped) {
+  auto state =
+      make_state(config_with(PolicyConfig::online(), 8, /*threshold=*/4.5));
+  state->handle_notification(make(1, 4.4));
+  EXPECT_EQ(device.queue_size(), 0u);
+  EXPECT_EQ(state->stats().below_threshold_drops, 1u);
+  state->handle_notification(make(2, 4.5));  // at threshold: accepted
+  EXPECT_TRUE(device.contains(NotificationId{2}));
+}
+
+// ------------------------------------------------------------- rank changes
+
+TEST_F(TopicStateTest, RankDropBeforeForwardingSilentlyRemoves) {
+  auto state = make_state(
+      config_with(PolicyConfig::buffer(0), 8, /*threshold=*/2.0));
+  state->handle_notification(make(1, 3.0));  // into prefetch, limit 0: no send
+  EXPECT_EQ(state->prefetch_size(), 1u);
+
+  state->handle_notification(make(1, 1.0));  // dropped below threshold
+  EXPECT_EQ(state->prefetch_size(), 0u);
+  EXPECT_EQ(state->stats().forwarded, 0u);
+  EXPECT_EQ(device.queue_size(), 0u);
+}
+
+TEST_F(TopicStateTest, RankDropAfterForwardingSendsNotice) {
+  auto state = make_state(
+      config_with(PolicyConfig::buffer(10), 8, /*threshold=*/2.0));
+  state->handle_notification(make(1, 3.0));
+  ASSERT_TRUE(device.contains(NotificationId{1}));
+
+  state->handle_notification(make(1, 0.5));  // drop below threshold
+  EXPECT_EQ(state->stats().rank_change_notices, 1u);
+  // The device's copy now carries the dropped rank, so a thresholded read
+  // will not show it.
+  EXPECT_DOUBLE_EQ(*device.rank_of(NotificationId{1}), 0.5);
+  EXPECT_TRUE(device.read(8, /*threshold=*/2.0).empty());
+}
+
+TEST_F(TopicStateTest, RankRaiseReordersPrefetchQueue) {
+  auto state = make_state(config_with(PolicyConfig::buffer(0)));
+  state->handle_notification(make(1, 2.0));
+  state->handle_notification(make(2, 3.0));
+  state->handle_notification(make(1, 4.0));  // raise
+  EXPECT_EQ(state->prefetch_size(), 2u);
+  auto difference = state->handle_read(request_from_device(1));
+  ASSERT_EQ(difference.size(), 1u);
+  EXPECT_EQ(difference[0]->id.value, 1u);
+  EXPECT_DOUBLE_EQ(difference[0]->rank, 4.0);
+}
+
+TEST_F(TopicStateTest, RankUpdateOnForwardedEventRefreshesDevice) {
+  auto state = make_state(config_with(PolicyConfig::buffer(10)));
+  state->handle_notification(make(1, 2.0));
+  ASSERT_TRUE(device.contains(NotificationId{1}));
+  state->handle_notification(make(1, 4.5));  // raise after forwarding
+  EXPECT_DOUBLE_EQ(*device.rank_of(NotificationId{1}), 4.5);
+  EXPECT_EQ(state->stats().rank_change_notices, 1u);
+}
+
+// -------------------------------------------------------------- expirations
+
+TEST_F(TopicStateTest, ExpiredEventLeavesAllQueues) {
+  auto state = make_state(config_with(PolicyConfig::buffer(0)));
+  state->handle_notification(make(1, 3.0, seconds(10.0)));
+  EXPECT_EQ(state->prefetch_size(), 1u);
+  sim.run_until(seconds(11.0));
+  EXPECT_EQ(state->prefetch_size(), 0u);
+  EXPECT_EQ(state->stats().expired_at_proxy, 1u);
+  // A later read finds nothing.
+  auto difference = state->handle_read(request_from_device(8));
+  EXPECT_TRUE(difference.empty());
+}
+
+TEST_F(TopicStateTest, ExpiredOutgoingDroppedAtForwardTime) {
+  auto state = make_state(config_with(PolicyConfig::online()));
+  link.set_state(net::LinkState::kDown);
+  // Online policy events skip the expiration timer; the lazy check at
+  // forward time must drop them.
+  state->handle_notification(make(1, 3.0, seconds(5.0)));
+  sim.run_until(seconds(10.0));
+  link.set_state(net::LinkState::kUp);
+  state->handle_network(net::LinkState::kUp);
+  EXPECT_EQ(device.queue_size(), 0u);
+  EXPECT_EQ(state->stats().expired_at_proxy, 1u);
+  EXPECT_EQ(state->stats().forwarded, 0u);
+}
+
+TEST_F(TopicStateTest, HoldingQueueKeepsShortLivedEventsFromPrefetch) {
+  auto state = make_state(config_with(
+      PolicyConfig::buffer(10, /*expiration_threshold=*/hours(1.0))));
+  state->handle_notification(make(1, 3.0, minutes(10.0)));  // too short
+  state->handle_notification(make(2, 2.0, hours(5.0)));     // long enough
+  state->handle_notification(make(3, 1.0));                 // never expires
+  EXPECT_EQ(state->holding_size(), 1u);
+  EXPECT_EQ(state->stats().held, 1u);
+  // Only the prefetchable ones were transferred.
+  EXPECT_FALSE(device.contains(NotificationId{1}));
+  EXPECT_TRUE(device.contains(NotificationId{2}));
+  EXPECT_TRUE(device.contains(NotificationId{3}));
+}
+
+TEST_F(TopicStateTest, HeldEventsStillServeReads) {
+  auto state = make_state(config_with(
+      PolicyConfig::buffer(0, /*expiration_threshold=*/hours(1.0))));
+  state->handle_notification(make(1, 3.0, minutes(10.0)));
+  EXPECT_EQ(state->holding_size(), 1u);
+  auto difference = state->handle_read(request_from_device(8));
+  ASSERT_EQ(difference.size(), 1u);
+  EXPECT_TRUE(device.contains(NotificationId{1}));
+}
+
+// -------------------------------------------------------------- delay stage
+
+TEST_F(TopicStateTest, DelayStagePostponesPrefetch) {
+  PolicyConfig policy = PolicyConfig::buffer(10);
+  policy.delay = minutes(30.0);
+  auto state = make_state(config_with(policy));
+  state->handle_notification(make(1, 3.0));
+  EXPECT_EQ(state->delay_stage_size(), 1u);
+  EXPECT_FALSE(device.contains(NotificationId{1}));
+
+  sim.run_until(minutes(31.0));
+  EXPECT_EQ(state->delay_stage_size(), 0u);
+  EXPECT_TRUE(device.contains(NotificationId{1}));
+  EXPECT_EQ(state->stats().delayed, 1u);
+}
+
+TEST_F(TopicStateTest, RankDropDuringDelayPreventsTransfer) {
+  PolicyConfig policy = PolicyConfig::buffer(10);
+  policy.delay = minutes(30.0);
+  auto state = make_state(config_with(policy, 8, /*threshold=*/2.0));
+  state->handle_notification(make(1, 3.0));
+  state->handle_notification(make(1, 0.0));  // retracted while delayed
+  sim.run_until(hours(1.0));
+  EXPECT_FALSE(device.contains(NotificationId{1}));
+  EXPECT_EQ(state->stats().forwarded, 0u);
+  EXPECT_EQ(state->stats().delay_drops, 1u);
+}
+
+TEST_F(TopicStateTest, DelayedEventsServeReadsImmediately) {
+  // A read taps outgoing ∪ prefetch ∪ holding; delayed events are in none of
+  // them, mirroring the paper (they are invisible until released).
+  PolicyConfig policy = PolicyConfig::buffer(0);
+  policy.delay = minutes(30.0);
+  auto state = make_state(config_with(policy));
+  state->handle_notification(make(1, 3.0));
+  auto difference = state->handle_read(request_from_device(8));
+  EXPECT_TRUE(difference.empty());
+}
+
+// ---------------------------------------------------- buffer-based prefetch
+
+TEST_F(TopicStateTest, BufferPrefetchStopsAtLimit) {
+  auto state = make_state(config_with(PolicyConfig::buffer(3)));
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    state->handle_notification(make(i, static_cast<double>(i) * 0.4));
+  }
+  // Forwarding is eager: the first three arrivals fill the buffer; later
+  // (higher-ranked) events wait in the prefetch queue for a read.
+  EXPECT_EQ(device.queue_size(), 3u);
+  EXPECT_EQ(state->prefetch_size(), 7u);
+  EXPECT_TRUE(device.contains(NotificationId{1}));
+  EXPECT_TRUE(device.contains(NotificationId{2}));
+  EXPECT_TRUE(device.contains(NotificationId{3}));
+}
+
+TEST_F(TopicStateTest, BufferPrefetchPicksHighestRankedWhenRoomOpens) {
+  auto state = make_state(config_with(PolicyConfig::buffer(0)));
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    state->handle_notification(make(i, static_cast<double>(i) * 0.4));
+  }
+  EXPECT_EQ(device.queue_size(), 0u);
+  // When transfers do happen, the highest-ranked pending events go first —
+  // verified through the read difference.
+  auto difference = state->handle_read(request_from_device(3));
+  ASSERT_EQ(difference.size(), 3u);
+  EXPECT_EQ(difference[0]->id.value, 10u);
+  EXPECT_EQ(difference[1]->id.value, 9u);
+  EXPECT_EQ(difference[2]->id.value, 8u);
+}
+
+TEST_F(TopicStateTest, BufferPrefetchRefillsAfterRead) {
+  auto state = make_state(config_with(PolicyConfig::buffer(3), /*max=*/2));
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    state->handle_notification(make(i, static_cast<double>(i) * 0.4));
+  }
+  EXPECT_EQ(device.queue_size(), 3u);
+
+  // User reads 2; READ corrects queue_size; prefetch refills toward 3.
+  auto request = request_from_device(2);
+  state->handle_read(request);
+  device.read(2, 0.0);
+  // Simulate the next read cycle to let the proxy observe the smaller queue.
+  state->handle_read(request_from_device(2));
+  EXPECT_GE(device.queue_size(), 2u);
+  EXPECT_EQ(state->stats().read_requests, 2u);
+}
+
+TEST_F(TopicStateTest, QueueSizeViewDriftsUpAndCorrectsOnRead) {
+  auto state = make_state(config_with(PolicyConfig::buffer(5)));
+  for (std::uint64_t i = 1; i <= 5; ++i) state->handle_notification(make(i, 1.0));
+  EXPECT_EQ(state->queue_size_view(), 5u);
+  device.read(5, 0.0);  // user reads locally; proxy cannot see it
+  EXPECT_EQ(state->queue_size_view(), 5u);
+  state->handle_read(request_from_device(1));
+  EXPECT_LE(state->queue_size_view(), 1u);
+}
+
+// ----------------------------------------------------------- adaptive policy
+
+TEST_F(TopicStateTest, AdaptiveStartsWithInitialLimit) {
+  auto state = make_state(config_with(PolicyConfig::adaptive()));
+  EXPECT_EQ(state->effective_prefetch_limit(), 0u);
+  state->handle_notification(make(1, 3.0));
+  EXPECT_EQ(device.queue_size(), 0u);  // nothing prefetched yet
+}
+
+TEST_F(TopicStateTest, AdaptiveLimitIsTwiceMeanReadSize) {
+  auto state = make_state(config_with(PolicyConfig::adaptive(), /*max=*/4));
+  state->handle_read(request_from_device(4));
+  EXPECT_EQ(state->effective_prefetch_limit(), 8u);  // 2 * 4
+  for (std::uint64_t i = 1; i <= 20; ++i) state->handle_notification(make(i, 1.0));
+  EXPECT_EQ(device.queue_size(), 8u);
+}
+
+TEST_F(TopicStateTest, AdaptiveExpirationThresholdTracksReadInterval) {
+  auto state = make_state(config_with(PolicyConfig::adaptive(), /*max=*/4));
+  EXPECT_EQ(state->effective_expiration_threshold(), 0);
+  sim.schedule_at(hours(1.0), [&] { state->handle_read(request_from_device(4)); });
+  sim.schedule_at(hours(9.0), [&] { state->handle_read(request_from_device(4)); });
+  sim.run();
+  ASSERT_TRUE(state->average_read_interval().has_value());
+  EXPECT_EQ(*state->average_read_interval(), hours(8.0));
+  EXPECT_EQ(state->effective_expiration_threshold(), hours(8.0));
+
+  // An event expiring sooner than 8h is now held, not prefetched.
+  state->handle_notification(make(1, 3.0, hours(2.0)));
+  EXPECT_EQ(state->holding_size(), 1u);
+  state->handle_notification(make(2, 3.0, hours(20.0)));
+  EXPECT_TRUE(device.contains(NotificationId{2}));
+}
+
+TEST_F(TopicStateTest, AutoThresholdSafetySuppressesWhenLifetimesShort) {
+  PolicyConfig policy = PolicyConfig::adaptive();
+  policy.auto_threshold_safety = 10.0;
+  auto state = make_state(config_with(policy, /*max=*/4));
+  sim.schedule_at(hours(1.0), [&] { state->handle_read(request_from_device(4)); });
+  sim.schedule_at(hours(9.0), [&] { state->handle_read(request_from_device(4)); });
+  sim.run();
+  // Lifetimes comparable to the read interval: threshold must NOT engage.
+  state->handle_notification(make(1, 3.0, hours(9.0)));
+  EXPECT_EQ(state->effective_expiration_threshold(), 0);
+  EXPECT_EQ(state->holding_size(), 0u);
+}
+
+TEST_F(TopicStateTest, AutoThresholdSafetyEngagesWhenLifetimesLong) {
+  PolicyConfig policy = PolicyConfig::adaptive();
+  policy.auto_threshold_safety = 10.0;
+  auto state = make_state(config_with(policy, /*max=*/4));
+  sim.schedule_at(hours(1.0), [&] { state->handle_read(request_from_device(4)); });
+  sim.schedule_at(hours(9.0), [&] { state->handle_read(request_from_device(4)); });
+  sim.run();
+  // An order of magnitude longer than the 8h read interval.
+  state->handle_notification(make(1, 3.0, days(30.0)));
+  EXPECT_EQ(state->effective_expiration_threshold(), hours(8.0));
+}
+
+// -------------------------------------------------------------- rate policy
+
+TEST_F(TopicStateTest, FixedRateForwardsEveryOtherArrival) {
+  auto state = make_state(config_with(PolicyConfig::rate(0.5)));
+  for (std::uint64_t i = 1; i <= 10; ++i) state->handle_notification(make(i, 1.0));
+  EXPECT_EQ(device.queue_size(), 5u);
+}
+
+TEST_F(TopicStateTest, FixedRateOneFiveForwardsFifth) {
+  auto state = make_state(config_with(PolicyConfig::rate(0.2)));
+  for (std::uint64_t i = 1; i <= 10; ++i) state->handle_notification(make(i, 1.0));
+  EXPECT_EQ(device.queue_size(), 2u);
+}
+
+TEST_F(TopicStateTest, RateForwardsHighestRankedAvailable) {
+  auto state = make_state(config_with(PolicyConfig::rate(0.5)));
+  state->handle_notification(make(1, 1.0));
+  state->handle_notification(make(2, 5.0));  // credit reaches 1 here
+  ASSERT_EQ(device.queue_size(), 1u);
+  EXPECT_TRUE(device.contains(NotificationId{2}));
+}
+
+TEST_F(TopicStateTest, DynamicRateIsZeroWithoutReadHistory) {
+  auto state = make_state(config_with(PolicyConfig::rate(0.0)));
+  EXPECT_DOUBLE_EQ(state->current_ratio(), 0.0);
+  for (std::uint64_t i = 1; i <= 10; ++i) state->handle_notification(make(i, 1.0));
+  EXPECT_EQ(device.queue_size(), 0u);
+}
+
+TEST_F(TopicStateTest, RateCreditFlushesOnLinkUp) {
+  auto state = make_state(config_with(PolicyConfig::rate(1.0)));
+  link.set_state(net::LinkState::kDown);
+  for (std::uint64_t i = 1; i <= 4; ++i) state->handle_notification(make(i, 1.0));
+  EXPECT_EQ(device.queue_size(), 0u);
+  link.set_state(net::LinkState::kUp);
+  state->handle_network(net::LinkState::kUp);
+  EXPECT_EQ(device.queue_size(), 4u);
+}
+
+// -------------------------------------------------------------- bookkeeping
+
+TEST_F(TopicStateTest, ForwardedUniqueCountsDistinctIds) {
+  auto state = make_state(config_with(PolicyConfig::buffer(10)));
+  state->handle_notification(make(1, 3.0));
+  state->handle_notification(make(1, 4.0));  // rank change: re-send
+  state->handle_notification(make(2, 2.0));
+  EXPECT_EQ(state->stats().forwarded, 3u);
+  EXPECT_EQ(state->forwarded_unique(), 2u);
+  EXPECT_TRUE(state->was_forwarded(NotificationId{1}));
+  EXPECT_FALSE(state->was_forwarded(NotificationId{3}));
+}
+
+TEST_F(TopicStateTest, StatsCountArrivalKinds) {
+  auto state = make_state(config_with(PolicyConfig::buffer(0), 8, 2.0));
+  state->handle_notification(make(1, 3.0));
+  state->handle_notification(make(1, 3.5));
+  state->handle_notification(make(2, 1.0));
+  EXPECT_EQ(state->stats().arrivals, 3u);
+  EXPECT_EQ(state->stats().rank_update_arrivals, 1u);
+  EXPECT_EQ(state->stats().below_threshold_drops, 1u);
+}
+
+}  // namespace
+}  // namespace waif::core

@@ -1,0 +1,197 @@
+#include "device/device.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace waif::device {
+namespace {
+
+pubsub::NotificationPtr make(std::uint64_t id, double rank,
+                             SimTime published = 0, SimTime expires = kNever) {
+  auto n = std::make_shared<pubsub::Notification>();
+  n->id = NotificationId{id};
+  n->topic = "t";
+  n->rank = rank;
+  n->published_at = published;
+  n->expires_at = expires;
+  return n;
+}
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  Device device{sim, DeviceId{1}};
+};
+
+TEST_F(DeviceTest, StartsEmpty) {
+  EXPECT_EQ(device.queue_size(), 0u);
+  EXPECT_TRUE(device.read(10, 0.0).empty());
+}
+
+TEST_F(DeviceTest, ReceiveAndContains) {
+  EXPECT_TRUE(device.receive(make(1, 3.0)));
+  EXPECT_TRUE(device.contains(NotificationId{1}));
+  EXPECT_EQ(device.queue_size(), 1u);
+  EXPECT_EQ(device.stats().received, 1u);
+}
+
+TEST_F(DeviceTest, ReadReturnsHighestRankedAndRemoves) {
+  device.receive(make(1, 1.0));
+  device.receive(make(2, 5.0));
+  device.receive(make(3, 3.0));
+  auto read = device.read(2, 0.0);
+  ASSERT_EQ(read.size(), 2u);
+  EXPECT_EQ(read[0]->id.value, 2u);
+  EXPECT_EQ(read[1]->id.value, 3u);
+  EXPECT_EQ(device.queue_size(), 1u);
+  EXPECT_EQ(device.stats().read, 2u);
+}
+
+TEST_F(DeviceTest, ReadHonorsThreshold) {
+  device.receive(make(1, 1.0));
+  device.receive(make(2, 4.9));
+  auto read = device.read(10, 4.5);
+  ASSERT_EQ(read.size(), 1u);
+  EXPECT_EQ(read[0]->id.value, 2u);
+  // The sub-threshold message stays queued.
+  EXPECT_EQ(device.queue_size(), 1u);
+}
+
+TEST_F(DeviceTest, TopIdsDoesNotRemove) {
+  device.receive(make(1, 1.0));
+  device.receive(make(2, 2.0));
+  auto ids = device.top_ids("t", 1, 0.0);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0].value, 2u);
+  EXPECT_EQ(device.queue_size(), 2u);
+}
+
+TEST_F(DeviceTest, DuplicateReceiveReplacesRank) {
+  device.receive(make(7, 4.0));
+  device.receive(make(7, 0.5));  // rank update
+  EXPECT_EQ(device.queue_size(), 1u);
+  EXPECT_EQ(device.stats().rank_updates, 1u);
+  EXPECT_DOUBLE_EQ(*device.rank_of(NotificationId{7}), 0.5);
+}
+
+TEST_F(DeviceTest, ExpiredMessagesPurgeLazily) {
+  device.receive(make(1, 3.0, 0, seconds(10.0)));
+  device.receive(make(2, 3.0));
+  sim.schedule_at(seconds(20.0), [] {});
+  sim.run();
+  EXPECT_EQ(device.queue_size(), 1u);
+  EXPECT_EQ(device.stats().expired_unread, 1u);
+  auto read = device.read(10, 0.0);
+  ASSERT_EQ(read.size(), 1u);
+  EXPECT_EQ(read[0]->id.value, 2u);
+}
+
+TEST_F(DeviceTest, StorageLimitEvictsLowestRank) {
+  DeviceConfig config;
+  config.storage_limit = 2;
+  Device small(sim, DeviceId{2}, config);
+  small.receive(make(1, 3.0));
+  small.receive(make(2, 1.0));
+  small.receive(make(3, 5.0));  // evicts id 2 (rank 1.0)
+  EXPECT_EQ(small.queue_size(), 2u);
+  EXPECT_FALSE(small.contains(NotificationId{2}));
+  EXPECT_EQ(small.stats().evicted, 1u);
+}
+
+TEST_F(DeviceTest, BatteryDrainsAndDies) {
+  DeviceConfig config;
+  config.battery_capacity = 2.5;
+  config.receive_cost = 1.0;
+  Device mobile(sim, DeviceId{3}, config);
+  EXPECT_TRUE(mobile.receive(make(1, 1.0)));
+  EXPECT_TRUE(mobile.receive(make(2, 1.0)));
+  EXPECT_TRUE(mobile.receive(make(3, 1.0)));  // uses the last 0.5.. capacity
+  EXPECT_TRUE(mobile.battery_dead());
+  EXPECT_FALSE(mobile.receive(make(4, 1.0)));
+  EXPECT_EQ(mobile.stats().rejected_dead_battery, 1u);
+  EXPECT_DOUBLE_EQ(mobile.battery_remaining(), 0.0);
+}
+
+TEST_F(DeviceTest, DeadBatteryBlocksUplinkReads) {
+  DeviceConfig config;
+  config.battery_capacity = 0.5;
+  config.send_cost = 1.0;
+  Device mobile(sim, DeviceId{4}, config);
+  // First read drains the budget; second is rejected.
+  mobile.read(1, 0.0, /*charge_uplink=*/true);
+  EXPECT_TRUE(mobile.battery_dead());
+  mobile.receive(make(1, 1.0));  // also rejected
+  EXPECT_FALSE(mobile.contains(NotificationId{1}));
+}
+
+TEST_F(DeviceTest, UnlimitedBatteryNeverDies) {
+  for (int i = 0; i < 1000; ++i) {
+    device.receive(make(static_cast<std::uint64_t>(i + 1), 1.0));
+  }
+  EXPECT_FALSE(device.battery_dead());
+  EXPECT_EQ(device.battery_remaining(), kUnlimitedBattery);
+}
+
+TEST_F(DeviceTest, ReadZeroReturnsNothing) {
+  device.receive(make(1, 1.0));
+  EXPECT_TRUE(device.read(0, 0.0).empty());
+  EXPECT_EQ(device.queue_size(), 1u);
+}
+
+TEST_F(DeviceTest, RankOfMissingIsNullopt) {
+  EXPECT_FALSE(device.rank_of(NotificationId{42}).has_value());
+}
+
+TEST_F(DeviceTest, RankDropBelowThresholdRetractsHeldCopy) {
+  device.set_topic_threshold("t", 2.5);
+  device.receive(make(1, 4.0));
+  ASSERT_TRUE(device.contains(NotificationId{1}));
+  device.receive(make(1, 0.5));  // retraction notice
+  EXPECT_FALSE(device.contains(NotificationId{1}));
+  EXPECT_EQ(device.stats().retracted, 1u);
+  EXPECT_EQ(device.queue_size(), 0u);
+}
+
+TEST_F(DeviceTest, FreshSubThresholdNoticeIsNotStored) {
+  // A rank-drop notice can arrive for a message the user already read; it
+  // must not clog the buffer as an unread rank-0 message.
+  device.set_topic_threshold("t", 2.5);
+  device.receive(make(1, 0.0));
+  EXPECT_FALSE(device.contains(NotificationId{1}));
+  EXPECT_EQ(device.stats().retracted, 1u);
+}
+
+TEST_F(DeviceTest, RankDropAboveThresholdMerelyReorders) {
+  device.set_topic_threshold("t", 2.0);
+  device.receive(make(1, 4.0));
+  device.receive(make(1, 2.5));  // still acceptable
+  EXPECT_TRUE(device.contains(NotificationId{1}));
+  EXPECT_DOUBLE_EQ(*device.rank_of(NotificationId{1}), 2.5);
+  EXPECT_EQ(device.stats().retracted, 0u);
+}
+
+TEST_F(DeviceTest, WithoutThresholdNothingIsRetracted) {
+  device.receive(make(1, 4.0));
+  device.receive(make(1, 0.0));
+  EXPECT_TRUE(device.contains(NotificationId{1}));
+  EXPECT_EQ(device.stats().retracted, 0u);
+}
+
+TEST_F(DeviceTest, ThresholdsArePerTopic) {
+  device.set_topic_threshold("strict", 4.0);
+  auto on_strict = std::make_shared<pubsub::Notification>();
+  on_strict->id = NotificationId{1};
+  on_strict->topic = "strict";
+  on_strict->rank = 3.0;
+  device.receive(on_strict);
+  EXPECT_FALSE(device.contains(NotificationId{1}));  // below strict threshold
+  device.receive(make(2, 3.0));  // topic "t": no threshold registered
+  EXPECT_TRUE(device.contains(NotificationId{2}));
+}
+
+}  // namespace
+}  // namespace waif::device

@@ -1,0 +1,172 @@
+// Tests of the experiment harness itself: baseline semantics, policy
+// invariants and determinism, on scaled-down scenarios.
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "experiments/runner.h"
+
+namespace waif::experiments {
+namespace {
+
+using core::PolicyConfig;
+using workload::ScenarioConfig;
+
+ScenarioConfig quick_config() {
+  ScenarioConfig config;
+  config.horizon = 60 * kDay;  // scaled down for test speed
+  config.event_frequency = 32.0;
+  config.user_frequency = 2.0;
+  config.max = 8;
+  return config;
+}
+
+TEST(RunnerTest, OnlinePolicyHasZeroLossByDefinition) {
+  ScenarioConfig config = quick_config();
+  config.outage_fraction = 0.5;
+  const Comparison comparison =
+      compare_policies(config, PolicyConfig::online(), /*seed=*/1);
+  EXPECT_DOUBLE_EQ(comparison.loss_percent, 0.0);
+  // Identical policy, identical trace: identical read set.
+  EXPECT_EQ(comparison.baseline.read_ids, comparison.policy.read_ids);
+}
+
+TEST(RunnerTest, OnDemandPolicyHasZeroWaste) {
+  ScenarioConfig config = quick_config();
+  config.outage_fraction = 0.3;
+  const Comparison comparison =
+      compare_policies(config, PolicyConfig::on_demand(), /*seed=*/2);
+  EXPECT_DOUBLE_EQ(comparison.waste_percent, 0.0);
+}
+
+TEST(RunnerTest, OverflowWasteMatchesClosedForm) {
+  // Figure 1's formula: waste = 1 - uf*Max/ef (event freq 32, uf 2, Max 8
+  // -> 50%).
+  ScenarioConfig config = quick_config();
+  const Comparison comparison =
+      compare_policies(config, PolicyConfig::online(), /*seed=*/3);
+  EXPECT_NEAR(comparison.waste_percent, 50.0, 5.0);
+}
+
+TEST(RunnerTest, NoOverflowNoWaste) {
+  ScenarioConfig config = quick_config();
+  config.user_frequency = 4.0;
+  config.max = 8;  // 4*8 = 32 = event frequency: the user keeps up
+  const Comparison comparison =
+      compare_policies(config, PolicyConfig::online(), /*seed=*/4);
+  EXPECT_LT(comparison.waste_percent, 6.0);
+}
+
+TEST(RunnerTest, DeterministicAcrossCalls) {
+  ScenarioConfig config = quick_config();
+  config.outage_fraction = 0.5;
+  config.mean_expiration = hours(6.0);
+  const Comparison a =
+      compare_policies(config, PolicyConfig::buffer(16), /*seed=*/5);
+  const Comparison b =
+      compare_policies(config, PolicyConfig::buffer(16), /*seed=*/5);
+  EXPECT_DOUBLE_EQ(a.waste_percent, b.waste_percent);
+  EXPECT_DOUBLE_EQ(a.loss_percent, b.loss_percent);
+  EXPECT_EQ(a.policy.read_ids, b.policy.read_ids);
+}
+
+TEST(RunnerTest, FullOutageMeansNoLossAndNoTraffic) {
+  // "before dropping back to 0 at the point of no connectivity".
+  ScenarioConfig config = quick_config();
+  config.outage_fraction = 1.0;
+  const Comparison comparison =
+      compare_policies(config, PolicyConfig::on_demand(), /*seed=*/6);
+  EXPECT_DOUBLE_EQ(comparison.loss_percent, 0.0);
+  EXPECT_TRUE(comparison.baseline.read_ids.empty());
+  EXPECT_EQ(comparison.policy.link.downlink_messages, 0u);
+}
+
+TEST(RunnerTest, OnDemandLossGrowsWithOutage) {
+  ScenarioConfig config = quick_config();
+  config.outage_fraction = 0.1;
+  const Comparison low =
+      compare_policies(config, PolicyConfig::on_demand(), /*seed=*/7);
+  config.outage_fraction = 0.9;
+  const Comparison high =
+      compare_policies(config, PolicyConfig::on_demand(), /*seed=*/7);
+  EXPECT_GT(high.loss_percent, low.loss_percent);
+  EXPECT_GT(high.loss_percent, 50.0);
+}
+
+TEST(RunnerTest, BufferPrefetchingBeatsOnDemandUnderOutage) {
+  // The paper's core claim (Figure 3): a modest prefetch buffer pushes both
+  // waste and loss down to a few percent.
+  ScenarioConfig config = quick_config();
+  config.outage_fraction = 0.5;
+  const Comparison prefetch =
+      compare_policies(config, PolicyConfig::buffer(16), /*seed=*/8);
+  const Comparison on_demand =
+      compare_policies(config, PolicyConfig::on_demand(), /*seed=*/8);
+  EXPECT_LT(prefetch.loss_percent, on_demand.loss_percent);
+  EXPECT_LT(prefetch.loss_percent, 10.0);
+  EXPECT_LT(prefetch.waste_percent, 10.0);
+}
+
+TEST(RunnerTest, HugePrefetchLimitApproachesOnlineWaste) {
+  ScenarioConfig config = quick_config();
+  const Comparison huge =
+      compare_policies(config, PolicyConfig::buffer(1 << 20), /*seed=*/9);
+  const Comparison online =
+      compare_policies(config, PolicyConfig::online(), /*seed=*/9);
+  EXPECT_NEAR(huge.waste_percent, online.waste_percent, 3.0);
+}
+
+TEST(RunnerTest, ReadOperationsMatchTrace) {
+  ScenarioConfig config = quick_config();
+  const workload::Trace trace = workload::generate_trace(config, 10);
+  const RunOutcome outcome =
+      run_trace(trace, config, PolicyConfig::online());
+  EXPECT_EQ(outcome.read_operations, trace.reads.size());
+}
+
+TEST(RunnerTest, EvaluateAggregatesSeeds) {
+  ScenarioConfig config = quick_config();
+  config.horizon = 30 * kDay;
+  const Aggregate aggregate =
+      evaluate(config, PolicyConfig::online(), /*seeds=*/3);
+  EXPECT_EQ(aggregate.seeds, 3u);
+  EXPECT_NEAR(aggregate.waste_percent, 50.0, 8.0);
+  EXPECT_DOUBLE_EQ(aggregate.loss_percent, 0.0);
+}
+
+TEST(RunnerTest, DeviceConstraintsPropagate) {
+  ScenarioConfig config = quick_config();
+  config.horizon = 10 * kDay;
+  DeviceOverrides overrides;
+  overrides.storage_limit = 4;
+  const workload::Trace trace = workload::generate_trace(config, 11);
+  const RunOutcome outcome =
+      run_trace(trace, config, PolicyConfig::online(), overrides);
+  EXPECT_GT(outcome.device.evicted, 0u);
+}
+
+TEST(RunnerTest, BatteryDeathStopsTraffic) {
+  ScenarioConfig config = quick_config();
+  config.horizon = 30 * kDay;
+  DeviceOverrides overrides;
+  overrides.battery_capacity = 50.0;  // dies early in the run
+  const workload::Trace trace = workload::generate_trace(config, 12);
+  const RunOutcome outcome =
+      run_trace(trace, config, PolicyConfig::online(), overrides);
+  EXPECT_GT(outcome.device.rejected_dead_battery, 0u);
+  // Received transfers bounded by the battery budget.
+  EXPECT_LE(outcome.device.received, 51u);
+}
+
+TEST(RunnerTest, RankDropsCauseWasteUnderPrefetchButNotOnDemand) {
+  ScenarioConfig config = quick_config();
+  config.horizon = 60 * kDay;
+  config.threshold = 2.5;
+  config.rank_drop_fraction = 0.3;
+  config.mean_rank_drop_delay = hours(2.0);
+  const Comparison prefetch =
+      compare_policies(config, PolicyConfig::buffer(1 << 20), /*seed=*/13);
+  EXPECT_GT(prefetch.policy.topic.rank_change_notices, 0u);
+}
+
+}  // namespace
+}  // namespace waif::experiments

@@ -1,0 +1,217 @@
+// Failure injection and stress: flapping links, constrained devices, many
+// topics at once — invariants must hold under abuse.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "core/channel.h"
+#include "core/proxy.h"
+#include "device/device.h"
+#include "experiments/runner.h"
+#include "net/link.h"
+#include "pubsub/broker.h"
+#include "pubsub/publisher.h"
+#include "sim/simulator.h"
+
+namespace waif {
+namespace {
+
+using core::PolicyConfig;
+using core::TopicConfig;
+
+TEST(StressTest, FlappingLinkNeverDeliversWhileDown) {
+  // The link toggles every few minutes for a month; every delivery must
+  // happen inside an up-interval.
+  sim::Simulator sim;
+  pubsub::Broker broker(sim);
+  net::Link link(sim);
+  device::Device device(sim, DeviceId{1});
+  core::SimDeviceChannel channel(link, device);
+  core::Proxy proxy(sim, channel);
+  proxy.attach_to_link(link);
+
+  TopicConfig config;
+  config.options.max = 4;
+  config.policy = PolicyConfig::adaptive();
+  proxy.add_topic("t", config);
+  broker.subscribe("t", proxy);
+  core::LastHopSession session(proxy, channel);
+
+  // Flap: down for 7 minutes out of every 10.
+  std::vector<net::Outage> outages;
+  for (SimTime t = 3 * kMinute; t < 30 * kDay; t += 10 * kMinute) {
+    outages.push_back(net::Outage{t, t + 7 * kMinute});
+  }
+  net::OutageSchedule schedule(std::move(outages), 30 * kDay);
+  link.apply_schedule(schedule);
+
+  // Deliveries are already guarded by WAIF_CHECK(is_up()) in the channel;
+  // this test makes sure heavy flapping never trips it and traffic flows.
+  pubsub::Publisher publisher(broker, "p");
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime at = static_cast<SimTime>(rng.next_below(30ull * kDay));
+    sim.schedule_at(at, [&publisher, &rng] {
+      publisher.publish("t", rng.next_double() * 5.0);
+    });
+  }
+  std::uint64_t read_total = 0;
+  for (int day = 0; day < 30; ++day) {
+    sim.schedule_at(day * kDay + 12 * kHour, [&session, &read_total] {
+      read_total += session.user_read("t").size();
+    });
+  }
+  sim.run_until(30 * kDay);
+
+  EXPECT_GT(read_total, 0u);
+  EXPECT_GT(link.stats().transitions, 4000u);
+  EXPECT_LE(device.stats().received, link.stats().downlink_messages);
+}
+
+TEST(StressTest, TinyStorageDeviceKeepsOnlyTheBest) {
+  sim::Simulator sim;
+  pubsub::Broker broker(sim);
+  net::Link link(sim);
+  device::DeviceConfig device_config;
+  device_config.storage_limit = 4;
+  device::Device device(sim, DeviceId{1}, device_config);
+  core::SimDeviceChannel channel(link, device);
+  core::Proxy proxy(sim, channel);
+
+  TopicConfig config;
+  config.options.max = 4;
+  config.policy = PolicyConfig::online();  // maximal pressure
+  proxy.add_topic("t", config);
+  broker.subscribe("t", proxy);
+
+  pubsub::Publisher publisher(broker, "p");
+  Rng rng(9);
+  std::vector<double> ranks;
+  for (int i = 0; i < 200; ++i) {
+    const double rank = rng.next_double() * 5.0;
+    ranks.push_back(rank);
+    publisher.publish("t", rank);
+  }
+  EXPECT_EQ(device.queue_size(), 4u);
+  EXPECT_EQ(device.stats().evicted, 196u);
+  // What remains is at least as good as the 4th best seen suffix-wise; in
+  // particular every held message must beat the global median by far.
+  auto held = device.read(4, 0.0);
+  std::sort(ranks.begin(), ranks.end());
+  for (const auto& notification : held) {
+    EXPECT_GE(notification->rank, ranks[ranks.size() / 2]);
+  }
+}
+
+TEST(StressTest, BatteryDeathMidRunStopsAllTrafficForever) {
+  workload::ScenarioConfig config;
+  config.horizon = 60 * kDay;
+  config.event_frequency = 32.0;
+  config.user_frequency = 2.0;
+  config.max = 8;
+  experiments::DeviceOverrides overrides;
+  overrides.battery_capacity = 100.0;
+
+  const workload::Trace trace = workload::generate_trace(config, 4);
+  const experiments::RunOutcome outcome = experiments::run_trace(
+      trace, config, PolicyConfig::buffer(16), overrides);
+
+  // Energy spent never exceeds capacity (receive+send both cost 1).
+  EXPECT_LE(outcome.device.energy_used, 100.0 + 1e-9);
+  EXPECT_GT(outcome.device.rejected_dead_battery, 0u);
+  // The user read at most as many as the budget could ever carry.
+  EXPECT_LE(outcome.read_ids.size(), 100u);
+}
+
+TEST(StressTest, ManyTopicsOneProxyIsolationHolds) {
+  sim::Simulator sim;
+  pubsub::Broker broker(sim);
+  net::Link link(sim);
+  device::Device device(sim, DeviceId{1});
+  core::SimDeviceChannel channel(link, device);
+  core::Proxy proxy(sim, channel);
+  core::LastHopSession session(proxy, channel);
+  pubsub::Publisher publisher(broker, "p");
+
+  constexpr int kTopics = 50;
+  for (int t = 0; t < kTopics; ++t) {
+    TopicConfig config;
+    config.options.max = 2;
+    config.options.threshold = 1.0;
+    config.policy = PolicyConfig::on_demand();
+    const std::string topic = "topic-" + std::to_string(t);
+    proxy.add_topic(topic, config);
+    broker.subscribe(topic, proxy, config.options);
+    // Tag payloads with the topic so cross-talk would be visible.
+    publisher.publish(topic, 3.0, kNever, topic);
+    publisher.publish(topic, 2.0, kNever, topic);
+    publisher.publish(topic, 0.5, kNever, topic);  // below threshold
+  }
+
+  for (int t = 0; t < kTopics; ++t) {
+    const std::string topic = "topic-" + std::to_string(t);
+    auto read = session.user_read(topic);
+    ASSERT_EQ(read.size(), 2u) << topic;
+    for (const auto& notification : read) {
+      EXPECT_EQ(notification->topic, topic);
+      EXPECT_EQ(notification->payload, topic);
+      EXPECT_GE(notification->rank, 1.0);
+    }
+  }
+  // Nothing left anywhere: every topic was drained exactly.
+  EXPECT_EQ(device.queue_size(), 0u);
+}
+
+TEST(StressTest, RemoveTopicMidTrafficIsSafe) {
+  sim::Simulator sim;
+  pubsub::Broker broker(sim);
+  net::Link link(sim);
+  device::Device device(sim, DeviceId{1});
+  core::SimDeviceChannel channel(link, device);
+  core::Proxy proxy(sim, channel);
+
+  TopicConfig config;
+  config.policy = PolicyConfig::buffer(4);
+  config.policy.delay = kHour;  // pending delay timers at removal time
+  proxy.add_topic("t", config);
+  const SubscriptionId sub = broker.subscribe("t", proxy);
+  pubsub::Publisher publisher(broker, "p");
+  publisher.publish("t", 3.0, hours(2.0));
+  publisher.publish("t", 4.0, hours(2.0));
+
+  proxy.remove_topic("t");
+  broker.unsubscribe(sub);
+  // Timers the topic scheduled must be inert now.
+  sim.run_until(kDay);
+  EXPECT_EQ(device.queue_size(), 0u);
+}
+
+TEST(StressTest, YearLongAdaptiveRunStaysConsistent) {
+  workload::ScenarioConfig config;
+  config.horizon = kYear;
+  config.event_frequency = 64.0;  // heavier than the paper's default
+  config.user_frequency = 3.0;
+  config.max = 8;
+  config.outage_fraction = 0.6;
+  config.mean_expiration = hours(18.0);
+  config.rank_drop_fraction = 0.05;
+  config.threshold = 1.0;
+
+  const experiments::Comparison comparison = experiments::compare_policies(
+      config, PolicyConfig::adaptive(), /*seed=*/11);
+  EXPECT_GE(comparison.waste_percent, 0.0);
+  EXPECT_LE(comparison.waste_percent, 100.0);
+  EXPECT_GE(comparison.loss_percent, 0.0);
+  EXPECT_LE(comparison.loss_percent, 100.0);
+  EXPECT_LE(comparison.policy.read_ids.size(),
+            comparison.policy.forwarded_unique);
+  // The adaptive policy must stay far from both pathological corners.
+  EXPECT_LT(comparison.waste_percent, 30.0);
+  EXPECT_LT(comparison.loss_percent, 30.0);
+}
+
+}  // namespace
+}  // namespace waif

@@ -1,0 +1,28 @@
+// The umbrella header must compile standalone and expose the public API.
+#include "waif.h"
+
+#include <gtest/gtest.h>
+
+namespace waif {
+namespace {
+
+TEST(UmbrellaHeaderTest, PublicApiIsReachable) {
+  sim::Simulator sim;
+  pubsub::Broker broker(sim);
+  net::Link link(sim);
+  device::Device device(sim, DeviceId{1});
+  core::SimDeviceChannel channel(link, device);
+  core::Proxy proxy(sim, channel);
+  core::TopicConfig config;
+  config.policy = core::PolicyConfig::adaptive();
+  proxy.add_topic("t", config);
+  broker.subscribe("t", proxy);
+  pubsub::Publisher publisher(broker, "p");
+  publisher.publish("t", 3.0);
+  core::LastHopSession session(proxy, channel);
+  EXPECT_EQ(session.user_read("t").size(), 1u);  // the READ pulls it
+  EXPECT_EQ(device.queue_size(), 0u);
+}
+
+}  // namespace
+}  // namespace waif

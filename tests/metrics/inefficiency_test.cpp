@@ -1,0 +1,56 @@
+#include "metrics/inefficiency.h"
+
+#include <gtest/gtest.h>
+
+namespace waif::metrics {
+namespace {
+
+TEST(WastePercentTest, NoForwardingNoWaste) {
+  EXPECT_DOUBLE_EQ(waste_percent(0, 0), 0.0);
+}
+
+TEST(WastePercentTest, AllReadNoWaste) {
+  EXPECT_DOUBLE_EQ(waste_percent(10, 10), 0.0);
+}
+
+TEST(WastePercentTest, NothingReadFullWaste) {
+  EXPECT_DOUBLE_EQ(waste_percent(10, 0), 100.0);
+}
+
+TEST(WastePercentTest, PartialWaste) {
+  EXPECT_DOUBLE_EQ(waste_percent(8, 2), 75.0);
+  EXPECT_DOUBLE_EQ(waste_percent(32, 28), 12.5);
+}
+
+TEST(LossPercentTest, EmptyBaselineIsZero) {
+  // "on-line and on-demand policies are equally powerless" at 100% outage.
+  EXPECT_DOUBLE_EQ(loss_percent({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(loss_percent({}, {1, 2, 3}), 0.0);
+}
+
+TEST(LossPercentTest, IdenticalSetsNoLoss) {
+  const ReadSet set{1, 2, 3};
+  EXPECT_DOUBLE_EQ(loss_percent(set, set), 0.0);
+}
+
+TEST(LossPercentTest, DisjointSetsFullLoss) {
+  EXPECT_DOUBLE_EQ(loss_percent({1, 2}, {3, 4}), 100.0);
+}
+
+TEST(LossPercentTest, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(loss_percent({1, 2, 3, 4}, {1, 2}), 50.0);
+}
+
+TEST(LossPercentTest, ExtraPolicyReadsDoNotReduceLoss) {
+  // Reading different (e.g. fresher) messages does not offset missing the
+  // baseline's messages.
+  EXPECT_DOUBLE_EQ(loss_percent({1, 2}, {2, 7, 8, 9}), 50.0);
+}
+
+TEST(LostCountTest, CountsMissingIds) {
+  EXPECT_EQ(lost_count({1, 2, 3}, {2}), 2u);
+  EXPECT_EQ(lost_count({}, {1}), 0u);
+}
+
+}  // namespace
+}  // namespace waif::metrics

@@ -1,0 +1,68 @@
+#include "metrics/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace waif::metrics {
+namespace {
+
+TEST(TableTest, StoresValues) {
+  Table table("caption", "x", {"a", "b"});
+  table.add_row("1", {1.5, 2.5});
+  table.add_row("2", {3.0, 4.0});
+  EXPECT_EQ(table.rows(), 2u);
+  EXPECT_EQ(table.series(), 2u);
+  EXPECT_DOUBLE_EQ(table.value(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(table.value(1, 0), 3.0);
+}
+
+TEST(TableTest, RejectsWrongArity) {
+  Table table("caption", "x", {"a", "b"});
+  EXPECT_THROW(table.add_row("1", {1.0}), std::invalid_argument);
+  EXPECT_THROW(table.add_row("1", {1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(TableTest, PrintContainsHeadersAndValues) {
+  Table table("Waste due to overflow", "Max", {"uf=1", "uf=2"});
+  table.add_row("4", {88.0, 75.0});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("Waste due to overflow"), std::string::npos);
+  EXPECT_NE(text.find("Max"), std::string::npos);
+  EXPECT_NE(text.find("uf=1"), std::string::npos);
+  EXPECT_NE(text.find("88.0"), std::string::npos);
+  EXPECT_NE(text.find("75.0"), std::string::npos);
+}
+
+TEST(TableTest, NanRendersAsDash) {
+  Table table("c", "x", {"a"});
+  table.add_row("1", {std::nan("")});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find('-'), std::string::npos);
+}
+
+TEST(TableTest, CsvFormat) {
+  Table table("c", "x", {"a", "b"});
+  table.set_precision(2);
+  table.add_row("1", {1.0, 2.0});
+  std::ostringstream out;
+  table.print_csv(out);
+  EXPECT_EQ(out.str(), "x,a,b\n1,1.00,2.00\n");
+}
+
+TEST(TableTest, PrecisionControlsRendering) {
+  Table table("c", "x", {"a"});
+  table.set_precision(3);
+  table.add_row("1", {1.23456});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("1.235"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace waif::metrics

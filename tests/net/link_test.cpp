@@ -1,0 +1,83 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace waif::net {
+namespace {
+
+class LinkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  Link link{sim};
+};
+
+TEST_F(LinkTest, StartsUp) {
+  EXPECT_TRUE(link.is_up());
+  EXPECT_EQ(link.state(), LinkState::kUp);
+}
+
+TEST_F(LinkTest, SetStateFiresListenersOnChangeOnly) {
+  std::vector<LinkState> observed;
+  link.on_state_change([&](LinkState s) { observed.push_back(s); });
+  link.set_state(LinkState::kUp);  // no change
+  EXPECT_TRUE(observed.empty());
+  link.set_state(LinkState::kDown);
+  link.set_state(LinkState::kDown);  // no change
+  link.set_state(LinkState::kUp);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], LinkState::kDown);
+  EXPECT_EQ(observed[1], LinkState::kUp);
+  EXPECT_EQ(link.stats().transitions, 2u);
+}
+
+TEST_F(LinkTest, TransferAccounting) {
+  link.record_downlink(100);
+  link.record_downlink(50);
+  link.record_uplink(10);
+  EXPECT_EQ(link.stats().downlink_messages, 2u);
+  EXPECT_EQ(link.stats().downlink_bytes, 150u);
+  EXPECT_EQ(link.stats().uplink_messages, 1u);
+  EXPECT_EQ(link.stats().uplink_bytes, 10u);
+}
+
+TEST_F(LinkTest, ApplyScheduleTogglesOverTime) {
+  std::vector<std::pair<SimTime, LinkState>> transitions;
+  link.on_state_change([&](LinkState s) {
+    transitions.emplace_back(sim.now(), s);
+  });
+  link.apply_schedule(OutageSchedule({Outage{10, 20}, Outage{40, 45}}, 100));
+  sim.run();
+  ASSERT_EQ(transitions.size(), 4u);
+  EXPECT_EQ(transitions[0], std::make_pair(SimTime{10}, LinkState::kDown));
+  EXPECT_EQ(transitions[1], std::make_pair(SimTime{20}, LinkState::kUp));
+  EXPECT_EQ(transitions[2], std::make_pair(SimTime{40}, LinkState::kDown));
+  EXPECT_EQ(transitions[3], std::make_pair(SimTime{45}, LinkState::kUp));
+}
+
+TEST_F(LinkTest, ApplyScheduleStartingDown) {
+  link.apply_schedule(OutageSchedule({Outage{0, 30}}, 100));
+  EXPECT_FALSE(link.is_up());
+  sim.run();
+  EXPECT_TRUE(link.is_up());
+}
+
+TEST_F(LinkTest, DowntimeAccumulates) {
+  link.apply_schedule(OutageSchedule({Outage{10, 30}, Outage{50, 60}}, 100));
+  sim.run_until(100);
+  EXPECT_EQ(link.downtime(), 30);
+}
+
+TEST_F(LinkTest, DowntimeWhileStillDown) {
+  link.set_state(LinkState::kDown);
+  sim.schedule_at(40, [] {});
+  sim.run();
+  EXPECT_EQ(link.downtime(), 40);
+}
+
+}  // namespace
+}  // namespace waif::net

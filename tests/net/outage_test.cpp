@@ -1,0 +1,82 @@
+#include "net/outage.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace waif::net {
+namespace {
+
+TEST(OutageScheduleTest, EmptyScheduleIsAlwaysUp) {
+  const auto schedule = OutageSchedule::always_up(kDay);
+  EXPECT_FALSE(schedule.is_down(0));
+  EXPECT_FALSE(schedule.is_down(kDay - 1));
+  EXPECT_DOUBLE_EQ(schedule.downtime_fraction(), 0.0);
+  EXPECT_EQ(schedule.count(), 0u);
+}
+
+TEST(OutageScheduleTest, AlwaysDown) {
+  const auto schedule = OutageSchedule::always_down(kDay);
+  EXPECT_TRUE(schedule.is_down(0));
+  EXPECT_TRUE(schedule.is_down(kDay - 1));
+  EXPECT_DOUBLE_EQ(schedule.downtime_fraction(), 1.0);
+}
+
+TEST(OutageScheduleTest, HalfOpenIntervals) {
+  const OutageSchedule schedule({Outage{10, 20}}, 100);
+  EXPECT_FALSE(schedule.is_down(9));
+  EXPECT_TRUE(schedule.is_down(10));
+  EXPECT_TRUE(schedule.is_down(19));
+  EXPECT_FALSE(schedule.is_down(20));
+}
+
+TEST(OutageScheduleTest, NormalizesUnsortedOverlappingInput) {
+  const OutageSchedule schedule({Outage{50, 70}, Outage{10, 30}, Outage{25, 40}},
+                                100);
+  EXPECT_EQ(schedule.count(), 2u);  // [10,40) merged, [50,70)
+  EXPECT_TRUE(schedule.is_down(35));
+  EXPECT_FALSE(schedule.is_down(45));
+  EXPECT_DOUBLE_EQ(schedule.downtime_fraction(), 0.5);
+}
+
+TEST(OutageScheduleTest, DropsEmptyAndClampsToHorizon) {
+  const OutageSchedule schedule({Outage{5, 5}, Outage{90, 200}}, 100);
+  EXPECT_EQ(schedule.count(), 1u);
+  EXPECT_DOUBLE_EQ(schedule.downtime_fraction(), 0.1);
+  EXPECT_FALSE(schedule.is_down(5));
+}
+
+TEST(OutageScheduleTest, OutageStartingBeyondHorizonIgnored) {
+  const OutageSchedule schedule({Outage{150, 200}}, 100);
+  EXPECT_EQ(schedule.count(), 0u);
+}
+
+TEST(OutageScheduleTest, NextDown) {
+  const OutageSchedule schedule({Outage{10, 20}, Outage{50, 60}}, 100);
+  EXPECT_EQ(schedule.next_down(0), 10);
+  EXPECT_EQ(schedule.next_down(10), 10);
+  EXPECT_EQ(schedule.next_down(11), 50);
+  EXPECT_EQ(schedule.next_down(61), kNever);
+}
+
+TEST(OutageScheduleTest, NextUp) {
+  const OutageSchedule schedule({Outage{10, 20}, Outage{50, 60}}, 100);
+  EXPECT_EQ(schedule.next_up(5), 5);    // already up
+  EXPECT_EQ(schedule.next_up(10), 20);  // inside first outage
+  EXPECT_EQ(schedule.next_up(19), 20);
+  EXPECT_EQ(schedule.next_up(55), 60);
+}
+
+TEST(OutageScheduleTest, AdjacentOutagesMerge) {
+  const OutageSchedule schedule({Outage{10, 20}, Outage{20, 30}}, 100);
+  EXPECT_EQ(schedule.count(), 1u);
+  EXPECT_TRUE(schedule.is_down(25));
+}
+
+TEST(OutageScheduleTest, DowntimeFractionSums) {
+  const OutageSchedule schedule({Outage{0, 10}, Outage{20, 40}}, 100);
+  EXPECT_DOUBLE_EQ(schedule.downtime_fraction(), 0.3);
+}
+
+}  // namespace
+}  // namespace waif::net

@@ -1,0 +1,84 @@
+#include "pubsub/notification.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+
+namespace waif::pubsub {
+namespace {
+
+NotificationPtr make(std::uint64_t id, double rank, SimTime published = 0,
+                     SimTime expires = kNever) {
+  auto n = std::make_shared<Notification>();
+  n->id = NotificationId{id};
+  n->topic = "t";
+  n->rank = rank;
+  n->published_at = published;
+  n->expires_at = expires;
+  return n;
+}
+
+TEST(NotificationTest, NeverExpiresByDefault) {
+  auto n = make(1, 3.0);
+  EXPECT_FALSE(n->expires());
+  EXPECT_FALSE(n->expired_at(kYear));
+  EXPECT_EQ(n->remaining_lifetime(kYear), kNever);
+}
+
+TEST(NotificationTest, ExpiresAtInstant) {
+  auto n = make(1, 3.0, 0, seconds(10.0));
+  EXPECT_TRUE(n->expires());
+  EXPECT_FALSE(n->expired_at(seconds(9.0)));
+  EXPECT_TRUE(n->expired_at(seconds(10.0)));  // boundary: expired at expiry
+  EXPECT_TRUE(n->expired_at(seconds(11.0)));
+}
+
+TEST(NotificationTest, RemainingLifetime) {
+  auto n = make(1, 3.0, 0, seconds(10.0));
+  EXPECT_EQ(n->remaining_lifetime(seconds(4.0)), seconds(6.0));
+  EXPECT_EQ(n->remaining_lifetime(seconds(10.0)), 0);
+  EXPECT_EQ(n->remaining_lifetime(seconds(20.0)), 0);
+}
+
+TEST(RankHigherTest, OrdersByRankDescending) {
+  auto low = make(1, 1.0);
+  auto high = make(2, 4.0);
+  RankHigher cmp;
+  EXPECT_TRUE(cmp(high, low));
+  EXPECT_FALSE(cmp(low, high));
+}
+
+TEST(RankHigherTest, TiesPreferRecency) {
+  auto older = make(1, 3.0, 100);
+  auto newer = make(2, 3.0, 200);
+  RankHigher cmp;
+  EXPECT_TRUE(cmp(newer, older));
+  EXPECT_FALSE(cmp(older, newer));
+}
+
+TEST(RankHigherTest, FullTieBreaksById) {
+  auto a = make(1, 3.0, 100);
+  auto b = make(2, 3.0, 100);
+  RankHigher cmp;
+  EXPECT_TRUE(cmp(b, a));
+  EXPECT_FALSE(cmp(a, b));
+  // Strict weak ordering: not both ways.
+  EXPECT_FALSE(cmp(a, a));
+}
+
+TEST(RankHigherTest, SortsAMixedVector) {
+  std::vector<NotificationPtr> v{make(1, 2.0), make(2, 5.0), make(3, 0.5),
+                                 make(4, 5.0, 10)};
+  std::sort(v.begin(), v.end(), RankHigher{});
+  EXPECT_EQ(v[0]->id.value, 4u);  // rank 5, newer
+  EXPECT_EQ(v[1]->id.value, 2u);  // rank 5
+  EXPECT_EQ(v[2]->id.value, 1u);  // rank 2
+  EXPECT_EQ(v[3]->id.value, 3u);  // rank 0.5
+}
+
+}  // namespace
+}  // namespace waif::pubsub

@@ -1,0 +1,128 @@
+// Property tests over random overlay trees: every subscriber of a topic
+// receives each publication exactly once, non-subscribers receive nothing,
+// and interest teardown leaves no forwarding state behind.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "pubsub/overlay.h"
+#include "pubsub/subscriber.h"
+#include "sim/simulator.h"
+
+namespace waif::pubsub {
+namespace {
+
+class Counter : public Subscriber {
+ public:
+  void on_notification(const NotificationPtr& notification) override {
+    ++per_id[notification->id.value];
+  }
+  std::map<std::uint64_t, int> per_id;
+};
+
+struct RandomTree {
+  sim::Simulator sim;
+  Overlay overlay{sim};
+  std::vector<OverlayNode*> nodes;
+
+  /// Builds a random tree: node i links to a uniformly chosen earlier node.
+  RandomTree(std::size_t count, Rng& rng) {
+    for (std::size_t i = 0; i < count; ++i) {
+      nodes.push_back(&overlay.add_node("n" + std::to_string(i)));
+      if (i > 0) {
+        const std::size_t parent = rng.next_below(i);
+        overlay.connect(nodes[parent]->id(), nodes[i]->id(),
+                        static_cast<SimDuration>(rng.next_below(1000)));
+      }
+    }
+  }
+};
+
+class OverlayPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OverlayPropertyTest, ExactlyOnceDeliveryToEverySubscriber) {
+  Rng rng(GetParam() * 31 + 7);
+  RandomTree tree(GetParam(), rng);
+
+  // Subscribe roughly half the nodes.
+  std::vector<std::unique_ptr<Counter>> counters;
+  std::vector<bool> subscribed(tree.nodes.size(), false);
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    counters.push_back(std::make_unique<Counter>());
+    if (rng.next_below(2) == 0 || i == 0) {
+      tree.nodes[i]->subscribe("topic", *counters[i]);
+      subscribed[i] = true;
+    } else {
+      // Also attach to an unrelated topic: must never hear "topic".
+      tree.nodes[i]->subscribe("other", *counters[i]);
+    }
+  }
+
+  // Publish from several random nodes.
+  std::vector<std::uint64_t> published;
+  for (int p = 0; p < 10; ++p) {
+    OverlayNode* origin = tree.nodes[rng.next_below(tree.nodes.size())];
+    const PublisherId publisher = origin->register_publisher();
+    origin->advertise(publisher, "topic");
+    auto n = origin->publish(publisher, "topic",
+                             static_cast<double>(rng.next_below(5)));
+    ASSERT_NE(n, nullptr);
+    published.push_back(n->id.value);
+  }
+  tree.sim.run();
+
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    for (std::uint64_t id : published) {
+      const int count = counters[i]->per_id.contains(id)
+                            ? counters[i]->per_id[id]
+                            : 0;
+      if (subscribed[i]) {
+        EXPECT_EQ(count, 1) << "node " << i << " id " << id;
+      } else {
+        EXPECT_EQ(count, 0) << "node " << i << " id " << id;
+      }
+    }
+  }
+}
+
+TEST_P(OverlayPropertyTest, UnsubscribeEverywhereStopsAllForwarding) {
+  Rng rng(GetParam() * 97 + 3);
+  RandomTree tree(GetParam(), rng);
+
+  std::vector<std::unique_ptr<Counter>> counters;
+  std::vector<SubscriptionId> subscriptions;
+  for (OverlayNode* node : tree.nodes) {
+    counters.push_back(std::make_unique<Counter>());
+    subscriptions.push_back(node->subscribe("topic", *counters.back()));
+  }
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) {
+    EXPECT_TRUE(tree.nodes[i]->unsubscribe(subscriptions[i]));
+  }
+
+  // No node may report interest toward any neighbor anymore.
+  for (OverlayNode* node : tree.nodes) {
+    EXPECT_FALSE(node->has_interest("topic"));
+    for (OverlayNode* other : tree.nodes) {
+      EXPECT_FALSE(node->interested_neighbor(other->id(), "topic"));
+    }
+  }
+
+  OverlayNode* origin = tree.nodes[0];
+  const PublisherId publisher = origin->register_publisher();
+  origin->advertise(publisher, "topic");
+  const auto forwarded_before = tree.overlay.stats().forwarded;
+  origin->publish(publisher, "topic", 3.0);
+  tree.sim.run();
+  EXPECT_EQ(tree.overlay.stats().forwarded, forwarded_before);
+  for (const auto& counter : counters) EXPECT_TRUE(counter->per_id.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, OverlayPropertyTest,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64));
+
+}  // namespace
+}  // namespace waif::pubsub

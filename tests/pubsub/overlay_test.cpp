@@ -1,0 +1,246 @@
+#include "pubsub/overlay.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "pubsub/subscriber.h"
+#include "sim/simulator.h"
+
+namespace waif::pubsub {
+namespace {
+
+class Probe : public Subscriber {
+ public:
+  explicit Probe(sim::Simulator& sim) : sim_(sim) {}
+  void on_notification(const NotificationPtr& notification) override {
+    received.push_back(notification);
+    receive_times.push_back(sim_.now());
+  }
+  std::vector<NotificationPtr> received;
+  std::vector<SimTime> receive_times;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+class OverlayTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  Overlay overlay{sim};
+};
+
+TEST_F(OverlayTest, LocalDelivery) {
+  OverlayNode& node = overlay.add_node("solo");
+  Probe probe(sim);
+  node.subscribe("t", probe);
+  const PublisherId publisher = node.register_publisher();
+  node.advertise(publisher, "t");
+  node.publish(publisher, "t", 3.0);
+  sim.run();
+  EXPECT_EQ(probe.received.size(), 1u);
+}
+
+TEST_F(OverlayTest, PublishRequiresLocalAdvertisement) {
+  OverlayNode& node = overlay.add_node("solo");
+  const PublisherId publisher = node.register_publisher();
+  EXPECT_EQ(node.publish(publisher, "t", 3.0), nullptr);
+}
+
+TEST_F(OverlayTest, ForwardsAcrossOneLinkWithLatency) {
+  OverlayNode& a = overlay.add_node("a");
+  OverlayNode& b = overlay.add_node("b");
+  overlay.connect(a.id(), b.id(), milliseconds(50));
+
+  Probe probe(sim);
+  b.subscribe("t", probe);
+
+  const PublisherId publisher = a.register_publisher();
+  a.advertise(publisher, "t");
+  a.publish(publisher, "t", 1.0);
+  sim.run();
+
+  ASSERT_EQ(probe.received.size(), 1u);
+  EXPECT_EQ(probe.receive_times[0], milliseconds(50));
+  EXPECT_EQ(overlay.stats().forwarded, 1u);
+}
+
+TEST_F(OverlayTest, MultiHopChainAccumulatesLatency) {
+  OverlayNode& a = overlay.add_node("a");
+  OverlayNode& b = overlay.add_node("b");
+  OverlayNode& c = overlay.add_node("c");
+  overlay.connect(a.id(), b.id(), milliseconds(10));
+  overlay.connect(b.id(), c.id(), milliseconds(25));
+
+  Probe probe(sim);
+  c.subscribe("t", probe);
+
+  const PublisherId publisher = a.register_publisher();
+  a.advertise(publisher, "t");
+  a.publish(publisher, "t", 1.0);
+  sim.run();
+
+  ASSERT_EQ(probe.received.size(), 1u);
+  EXPECT_EQ(probe.receive_times[0], milliseconds(35));
+}
+
+TEST_F(OverlayTest, NoInterestNoTraffic) {
+  OverlayNode& a = overlay.add_node("a");
+  OverlayNode& b = overlay.add_node("b");
+  overlay.connect(a.id(), b.id(), milliseconds(1));
+
+  const PublisherId publisher = a.register_publisher();
+  a.advertise(publisher, "t");
+  a.publish(publisher, "t", 1.0);
+  sim.run();
+
+  EXPECT_EQ(overlay.stats().forwarded, 0u);
+}
+
+TEST_F(OverlayTest, InterestPropagatesThroughIntermediateNodes) {
+  OverlayNode& a = overlay.add_node("a");
+  OverlayNode& b = overlay.add_node("b");
+  OverlayNode& c = overlay.add_node("c");
+  overlay.connect(a.id(), b.id(), 0);
+  overlay.connect(b.id(), c.id(), 0);
+
+  Probe probe(sim);
+  c.subscribe("t", probe);
+
+  // b carries interest for c even with no local subscriber.
+  EXPECT_TRUE(b.interested_neighbor(c.id(), "t"));
+  EXPECT_TRUE(a.interested_neighbor(b.id(), "t"));
+  EXPECT_FALSE(b.has_interest("t"));
+}
+
+TEST_F(OverlayTest, UnsubscribeRetractsInterest) {
+  OverlayNode& a = overlay.add_node("a");
+  OverlayNode& b = overlay.add_node("b");
+  overlay.connect(a.id(), b.id(), 0);
+
+  Probe probe(sim);
+  const SubscriptionId sub = b.subscribe("t", probe);
+  EXPECT_TRUE(a.interested_neighbor(b.id(), "t"));
+  EXPECT_TRUE(b.unsubscribe(sub));
+  EXPECT_FALSE(a.interested_neighbor(b.id(), "t"));
+
+  const PublisherId publisher = a.register_publisher();
+  a.advertise(publisher, "t");
+  a.publish(publisher, "t", 1.0);
+  sim.run();
+  EXPECT_TRUE(probe.received.empty());
+}
+
+TEST_F(OverlayTest, StarFanOut) {
+  OverlayNode& hub = overlay.add_node("hub");
+  std::vector<Probe*> probes;
+  std::vector<std::unique_ptr<Probe>> owned;
+  for (int i = 0; i < 4; ++i) {
+    OverlayNode& leaf = overlay.add_node("leaf" + std::to_string(i));
+    overlay.connect(hub.id(), leaf.id(), milliseconds(i + 1));
+    owned.push_back(std::make_unique<Probe>(sim));
+    leaf.subscribe("t", *owned.back());
+    probes.push_back(owned.back().get());
+  }
+  const PublisherId publisher = hub.register_publisher();
+  hub.advertise(publisher, "t");
+  hub.publish(publisher, "t", 1.0);
+  sim.run();
+  for (Probe* probe : probes) EXPECT_EQ(probe->received.size(), 1u);
+}
+
+TEST_F(OverlayTest, DoesNotEchoBackToOrigin) {
+  OverlayNode& a = overlay.add_node("a");
+  OverlayNode& b = overlay.add_node("b");
+  overlay.connect(a.id(), b.id(), 0);
+
+  Probe probe_a(sim);
+  Probe probe_b(sim);
+  a.subscribe("t", probe_a);
+  b.subscribe("t", probe_b);
+
+  const PublisherId publisher = a.register_publisher();
+  a.advertise(publisher, "t");
+  a.publish(publisher, "t", 1.0);
+  sim.run();
+
+  EXPECT_EQ(probe_a.received.size(), 1u);  // exactly once, not echoed
+  EXPECT_EQ(probe_b.received.size(), 1u);
+}
+
+TEST_F(OverlayTest, CycleRejected) {
+  OverlayNode& a = overlay.add_node("a");
+  OverlayNode& b = overlay.add_node("b");
+  OverlayNode& c = overlay.add_node("c");
+  overlay.connect(a.id(), b.id(), 0);
+  overlay.connect(b.id(), c.id(), 0);
+  EXPECT_THROW(overlay.connect(a.id(), c.id(), 0), std::invalid_argument);
+}
+
+TEST_F(OverlayTest, SelfLinkRejected) {
+  OverlayNode& a = overlay.add_node("a");
+  EXPECT_THROW(overlay.connect(a.id(), a.id(), 0), std::invalid_argument);
+}
+
+TEST_F(OverlayTest, ExpiredNotificationsDropInTransit) {
+  OverlayNode& a = overlay.add_node("a");
+  OverlayNode& b = overlay.add_node("b");
+  overlay.connect(a.id(), b.id(), seconds(10.0));  // slow link
+
+  Probe probe(sim);
+  b.subscribe("t", probe);
+
+  const PublisherId publisher = a.register_publisher();
+  a.advertise(publisher, "t");
+  a.publish(publisher, "t", 1.0, seconds(5.0));  // expires mid-flight
+  sim.run();
+
+  EXPECT_TRUE(probe.received.empty());
+  EXPECT_EQ(overlay.stats().dropped_expired, 1u);
+}
+
+TEST_F(OverlayTest, RankUpdatePropagates) {
+  OverlayNode& a = overlay.add_node("a");
+  OverlayNode& b = overlay.add_node("b");
+  overlay.connect(a.id(), b.id(), 0);
+
+  Probe probe(sim);
+  b.subscribe("t", probe);
+
+  const PublisherId publisher = a.register_publisher();
+  a.advertise(publisher, "t");
+  auto n = a.publish(publisher, "t", 4.0);
+  sim.run();
+  EXPECT_TRUE(a.update_rank(publisher, n->id, 1.0));
+  sim.run();
+
+  ASSERT_EQ(probe.received.size(), 2u);
+  EXPECT_EQ(probe.received[1]->id, n->id);
+  EXPECT_DOUBLE_EQ(probe.received[1]->rank, 1.0);
+}
+
+TEST_F(OverlayTest, SubscribeAfterConnectOnExistingTree) {
+  OverlayNode& a = overlay.add_node("a");
+  OverlayNode& b = overlay.add_node("b");
+  Probe probe(sim);
+  b.subscribe("t", probe);  // interest exists before the link
+  overlay.connect(a.id(), b.id(), 0);
+  EXPECT_TRUE(a.interested_neighbor(b.id(), "t"));
+
+  const PublisherId publisher = a.register_publisher();
+  a.advertise(publisher, "t");
+  a.publish(publisher, "t", 1.0);
+  sim.run();
+  EXPECT_EQ(probe.received.size(), 1u);
+}
+
+TEST_F(OverlayTest, UnknownNodeLookupThrows) {
+  EXPECT_THROW(overlay.node(BrokerId{404}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace waif::pubsub

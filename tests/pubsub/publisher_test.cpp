@@ -1,0 +1,90 @@
+#include "pubsub/publisher.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pubsub/broker.h"
+#include "pubsub/subscriber.h"
+#include "sim/simulator.h"
+
+namespace waif::pubsub {
+namespace {
+
+class Probe : public Subscriber {
+ public:
+  void on_notification(const NotificationPtr& notification) override {
+    received.push_back(notification);
+  }
+  void on_topic_withdrawn(const std::string& topic) override {
+    withdrawn.push_back(topic);
+  }
+  std::vector<NotificationPtr> received;
+  std::vector<std::string> withdrawn;
+};
+
+class PublisherTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  Broker broker{sim};
+  Probe probe;
+};
+
+TEST_F(PublisherTest, PublishAutoAdvertises) {
+  Publisher publisher(broker, "weather-service");
+  broker.subscribe("weather", probe);
+  auto n = publisher.publish("weather", 3.0);
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(broker.is_advertised("weather"));
+  EXPECT_EQ(probe.received.size(), 1u);
+}
+
+TEST_F(PublisherTest, NameAndIdExposed) {
+  Publisher publisher(broker, "slashdot");
+  EXPECT_EQ(publisher.name(), "slashdot");
+  EXPECT_GT(publisher.id().value, 0u);
+}
+
+TEST_F(PublisherTest, UpdateRankGoesThroughBroker) {
+  Publisher publisher(broker, "p");
+  broker.subscribe("t", probe);
+  auto n = publisher.publish("t", 4.0);
+  EXPECT_TRUE(publisher.update_rank(n->id, 0.5));
+  ASSERT_EQ(probe.received.size(), 2u);
+  EXPECT_DOUBLE_EQ(probe.received[1]->rank, 0.5);
+}
+
+TEST_F(PublisherTest, WithdrawExplicitly) {
+  Publisher publisher(broker, "p");
+  broker.subscribe("t", probe);
+  publisher.publish("t", 1.0);
+  EXPECT_TRUE(publisher.withdraw("t"));
+  EXPECT_FALSE(publisher.withdraw("t"));  // already gone
+  EXPECT_EQ(probe.withdrawn.size(), 1u);
+}
+
+TEST_F(PublisherTest, DestructorWithdrawsAllTopics) {
+  broker.subscribe("a", probe);
+  broker.subscribe("b", probe);
+  {
+    Publisher publisher(broker, "p");
+    publisher.publish("a", 1.0);
+    publisher.publish("b", 1.0);
+  }
+  EXPECT_EQ(probe.withdrawn.size(), 2u);
+  EXPECT_FALSE(broker.is_advertised("a"));
+  EXPECT_FALSE(broker.is_advertised("b"));
+}
+
+TEST_F(PublisherTest, AdvertiseIsIdempotent) {
+  Publisher publisher(broker, "p");
+  publisher.advertise("t");
+  publisher.advertise("t");
+  EXPECT_TRUE(broker.is_advertised("t"));
+  EXPECT_TRUE(publisher.withdraw("t"));
+  EXPECT_FALSE(broker.is_advertised("t"));
+}
+
+}  // namespace
+}  // namespace waif::pubsub

@@ -1,0 +1,132 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace waif::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.next_time(), kNever);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30, [&] { order.push_back(3); });
+  queue.schedule(10, [&] { order.push_back(1); });
+  queue.schedule(20, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakInSchedulingOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, PopReportsTime) {
+  EventQueue queue;
+  queue.schedule(123, [] {});
+  EXPECT_EQ(queue.next_time(), 123);
+  auto fired = queue.pop();
+  EXPECT_EQ(fired.time, 123);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  EventHandle handle = queue.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(handle.active());
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.next_time(), kNever);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue queue;
+  EventHandle handle = queue.schedule(10, [] {});
+  handle.cancel();
+  handle.cancel();
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, CancelledEntryBuriedInHeapIsSkipped) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(10, [&] { order.push_back(1); });
+  EventHandle mid = queue.schedule(20, [&] { order.push_back(2); });
+  queue.schedule(30, [&] { order.push_back(3); });
+  mid.cancel();
+  EXPECT_EQ(queue.size(), 2u);
+  while (!queue.empty()) queue.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, HandleInactiveAfterFiring) {
+  EventQueue queue;
+  EventHandle handle = queue.schedule(10, [] {});
+  queue.pop().fn();
+  EXPECT_FALSE(handle.active());
+  handle.cancel();  // no-op after firing
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.active());
+  handle.cancel();  // must not crash
+}
+
+TEST(EventQueueTest, ClearDropsEverythingAndInertsHandles) {
+  EventQueue queue;
+  EventHandle handle = queue.schedule(10, [] {});
+  queue.schedule(20, [] {});
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(handle.active());
+}
+
+TEST(EventQueueTest, HandleOutlivesQueueSafely) {
+  EventHandle handle;
+  {
+    EventQueue queue;
+    handle = queue.schedule(10, [] {});
+  }
+  handle.cancel();  // queue gone; must not crash
+}
+
+TEST(EventQueueTest, SizeTracksLiveEventsExactly) {
+  EventQueue queue;
+  EventHandle a = queue.schedule(1, [] {});
+  EventHandle b = queue.schedule(2, [] {});
+  queue.schedule(3, [] {});
+  EXPECT_EQ(queue.size(), 3u);
+  a.cancel();
+  EXPECT_EQ(queue.size(), 2u);
+  b.cancel();
+  EXPECT_EQ(queue.size(), 1u);
+  queue.pop();
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, ExtremeTimesOrderCorrectly) {
+  EventQueue queue;
+  queue.schedule(kNever - 1, [] {});
+  queue.schedule(0, [] {});
+  EXPECT_EQ(queue.next_time(), 0);
+}
+
+}  // namespace
+}  // namespace waif::sim

@@ -1,0 +1,142 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time.h"
+
+namespace waif::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunAdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime> observed;
+  sim.schedule_at(100, [&] { observed.push_back(sim.now()); });
+  sim.schedule_at(200, [&] { observed.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(observed, (std::vector<SimTime>{100, 200}));
+  EXPECT_EQ(sim.fired_events(), 2u);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(50, [&] {
+    sim.schedule_after(25, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 75);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(30, [&] { ++fired; });
+  sim.run_until(20);
+  EXPECT_EQ(fired, 2);  // events at exactly the deadline fire
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockPastLastEvent) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run_until(100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunFire) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] {
+    order.push_back(1);
+    sim.schedule_at(15, [&] { order.push_back(2); });
+  });
+  sim.schedule_at(20, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run_until(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10);  // clock not advanced to the deadline after stop
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle handle = sim.schedule_at(10, [&] { fired = true; });
+  handle.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, SameInstantFiresInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, RunOnEmptyQueueLeavesClock) {
+  Simulator sim;
+  sim.run();
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimulatorTest, SequentialRunUntilSegments) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(kDay, [&] { ++fired; });
+  sim.schedule_at(2 * kDay, [&] { ++fired; });
+  sim.run_until(kDay);
+  EXPECT_EQ(fired, 1);
+  sim.run_until(3 * kDay);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 3 * kDay);
+}
+
+TEST(SimulatorTest, ClearCancelsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.clear();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace waif::sim

@@ -1,0 +1,177 @@
+#include "workload/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/time.h"
+#include "workload/trace.h"
+
+namespace waif::workload {
+namespace {
+
+Trace sample_trace() {
+  ScenarioConfig config;
+  config.horizon = 30 * kDay;
+  config.outage_fraction = 0.4;
+  config.mean_expiration = hours(6.0);
+  config.rank_drop_fraction = 0.1;
+  return generate_trace(config, 7);
+}
+
+TEST(TraceSerializationTest, RoundTripsExactly) {
+  const Trace original = sample_trace();
+  std::stringstream buffer;
+  write_trace(buffer, original);
+  const Trace loaded = read_trace(buffer);
+
+  EXPECT_EQ(loaded.horizon, original.horizon);
+  ASSERT_EQ(loaded.arrivals.size(), original.arrivals.size());
+  for (std::size_t i = 0; i < original.arrivals.size(); ++i) {
+    EXPECT_EQ(loaded.arrivals[i].time, original.arrivals[i].time);
+    EXPECT_DOUBLE_EQ(loaded.arrivals[i].rank, original.arrivals[i].rank);
+    EXPECT_EQ(loaded.arrivals[i].lifetime, original.arrivals[i].lifetime);
+  }
+  EXPECT_EQ(loaded.reads, original.reads);
+  ASSERT_EQ(loaded.rank_changes.size(), original.rank_changes.size());
+  for (std::size_t i = 0; i < original.rank_changes.size(); ++i) {
+    EXPECT_EQ(loaded.rank_changes[i].time, original.rank_changes[i].time);
+    EXPECT_EQ(loaded.rank_changes[i].arrival_index,
+              original.rank_changes[i].arrival_index);
+  }
+  ASSERT_EQ(loaded.outages.count(), original.outages.count());
+  EXPECT_DOUBLE_EQ(loaded.outages.downtime_fraction(),
+                   original.outages.downtime_fraction());
+}
+
+TEST(TraceSerializationTest, NeverLifetimeSurvives) {
+  Trace trace;
+  trace.horizon = kDay;
+  trace.arrivals.push_back(Arrival{100, 2.5, kNever});
+  trace.arrivals.push_back(Arrival{200, 1.0, seconds(30.0)});
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  const Trace loaded = read_trace(buffer);
+  EXPECT_EQ(loaded.arrivals[0].lifetime, kNever);
+  EXPECT_EQ(loaded.arrivals[1].lifetime, seconds(30.0));
+}
+
+TEST(TraceSerializationTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "waif-trace v1\n"
+      "\n"
+      "horizon 1000\n"
+      "# another\n"
+      "arrival 5 3.5 never\n");
+  const Trace trace = read_trace(in);
+  EXPECT_EQ(trace.horizon, 1000);
+  ASSERT_EQ(trace.arrivals.size(), 1u);
+}
+
+TEST(TraceSerializationTest, UnsortedInputIsNormalized) {
+  std::stringstream in(
+      "waif-trace v1\n"
+      "horizon 1000\n"
+      "arrival 500 1.0 never\n"
+      "arrival 100 2.0 never\n"
+      "read 900\n"
+      "read 300\n");
+  const Trace trace = read_trace(in);
+  EXPECT_EQ(trace.arrivals[0].time, 100);
+  EXPECT_EQ(trace.arrivals[1].time, 500);
+  EXPECT_EQ(trace.reads.front(), 300);
+}
+
+TEST(TraceSerializationTest, MissingHeaderRejected) {
+  std::stringstream in("horizon 1000\n");
+  EXPECT_THROW(read_trace(in), std::invalid_argument);
+}
+
+TEST(TraceSerializationTest, MissingHorizonRejected) {
+  std::stringstream in("waif-trace v1\narrival 1 1.0 never\n");
+  EXPECT_THROW(read_trace(in), std::invalid_argument);
+}
+
+TEST(TraceSerializationTest, UnknownKeywordRejected) {
+  std::stringstream in("waif-trace v1\nhorizon 10\nbogus 1 2 3\n");
+  EXPECT_THROW(read_trace(in), std::invalid_argument);
+}
+
+TEST(TraceSerializationTest, MalformedArrivalRejected) {
+  std::stringstream in("waif-trace v1\nhorizon 10\narrival 5\n");
+  EXPECT_THROW(read_trace(in), std::invalid_argument);
+}
+
+TEST(TraceSerializationTest, RankChangeIndexValidated) {
+  std::stringstream in(
+      "waif-trace v1\nhorizon 10\narrival 1 1.0 never\n"
+      "rankchange 5 99 0.0\n");
+  EXPECT_THROW(read_trace(in), std::invalid_argument);
+}
+
+TEST(ScenarioSerializationTest, RoundTrips) {
+  ScenarioConfig original;
+  original.event_frequency = 48.0;
+  original.user_frequency = 0.5;
+  original.max = 30;
+  original.threshold = 4.5;
+  original.outage_fraction = 0.75;
+  original.mean_outage = 2 * kDay;
+  original.mean_expiration = hours(4.2);
+  original.expiration_shape = DurationShape::kUniform;
+  original.rank_drop_fraction = 0.25;
+  original.horizon = 90 * kDay;
+
+  std::stringstream buffer;
+  write_scenario(buffer, original);
+  const ScenarioConfig loaded = read_scenario(buffer);
+
+  EXPECT_DOUBLE_EQ(loaded.event_frequency, 48.0);
+  EXPECT_DOUBLE_EQ(loaded.user_frequency, 0.5);
+  EXPECT_EQ(loaded.max, 30);
+  EXPECT_DOUBLE_EQ(loaded.threshold, 4.5);
+  EXPECT_DOUBLE_EQ(loaded.outage_fraction, 0.75);
+  EXPECT_EQ(loaded.mean_outage, 2 * kDay);
+  EXPECT_EQ(loaded.mean_expiration, hours(4.2));
+  EXPECT_EQ(loaded.expiration_shape, DurationShape::kUniform);
+  EXPECT_DOUBLE_EQ(loaded.rank_drop_fraction, 0.25);
+  EXPECT_EQ(loaded.horizon, 90 * kDay);
+}
+
+TEST(ScenarioSerializationTest, MissingKeysKeepDefaults) {
+  std::stringstream in("event_frequency 10\n");
+  const ScenarioConfig loaded = read_scenario(in);
+  EXPECT_DOUBLE_EQ(loaded.event_frequency, 10.0);
+  const ScenarioConfig defaults;
+  EXPECT_DOUBLE_EQ(loaded.user_frequency, defaults.user_frequency);
+  EXPECT_EQ(loaded.horizon, defaults.horizon);
+}
+
+TEST(ScenarioSerializationTest, UnknownKeyRejected) {
+  std::stringstream in("warp_factor 9\n");
+  EXPECT_THROW(read_scenario(in), std::invalid_argument);
+}
+
+TEST(ScenarioSerializationTest, BadValueRejected) {
+  std::stringstream in("event_frequency fast\n");
+  EXPECT_THROW(read_scenario(in), std::invalid_argument);
+}
+
+TEST(ScenarioSerializationTest, LoadedScenarioDrivesIdenticalTrace) {
+  ScenarioConfig original;
+  original.horizon = 20 * kDay;
+  original.outage_fraction = 0.5;
+  std::stringstream buffer;
+  write_scenario(buffer, original);
+  const ScenarioConfig loaded = read_scenario(buffer);
+
+  const Trace a = generate_trace(original, 3);
+  const Trace b = generate_trace(loaded, 3);
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  EXPECT_EQ(a.reads, b.reads);
+}
+
+}  // namespace
+}  // namespace waif::workload

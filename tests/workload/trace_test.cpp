@@ -1,0 +1,258 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/time.h"
+
+namespace waif::workload {
+namespace {
+
+ScenarioConfig short_config() {
+  ScenarioConfig config;
+  config.horizon = 30 * kDay;  // keep unit tests fast
+  return config;
+}
+
+TEST(ArrivalsTest, RateMatchesEventFrequency) {
+  ScenarioConfig config = short_config();
+  config.event_frequency = 32.0;
+  Rng rng(1);
+  auto arrivals = generate_arrivals(config, rng);
+  const double expected = 32.0 * 30.0;
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), expected,
+              4.0 * std::sqrt(expected));  // 4 sigma of Poisson noise
+}
+
+TEST(ArrivalsTest, SortedAndWithinHorizon) {
+  ScenarioConfig config = short_config();
+  Rng rng(2);
+  auto arrivals = generate_arrivals(config, rng);
+  ASSERT_FALSE(arrivals.empty());
+  EXPECT_TRUE(std::is_sorted(
+      arrivals.begin(), arrivals.end(),
+      [](const Arrival& a, const Arrival& b) { return a.time < b.time; }));
+  EXPECT_GE(arrivals.front().time, 0);
+  EXPECT_LT(arrivals.back().time, config.horizon);
+}
+
+TEST(ArrivalsTest, RanksInRange) {
+  ScenarioConfig config = short_config();
+  config.rank_lo = 1.0;
+  config.rank_hi = 4.0;
+  Rng rng(3);
+  for (const Arrival& arrival : generate_arrivals(config, rng)) {
+    EXPECT_GE(arrival.rank, 1.0);
+    EXPECT_LT(arrival.rank, 4.0);
+  }
+}
+
+TEST(ArrivalsTest, NoExpirationsByDefault) {
+  ScenarioConfig config = short_config();
+  Rng rng(4);
+  for (const Arrival& arrival : generate_arrivals(config, rng)) {
+    EXPECT_EQ(arrival.lifetime, kNever);
+  }
+}
+
+TEST(ArrivalsTest, ExpirationMeanMatches) {
+  ScenarioConfig config = short_config();
+  config.horizon = 365 * kDay;
+  config.mean_expiration = hours(4.0);
+  Rng rng(5);
+  auto arrivals = generate_arrivals(config, rng);
+  double sum = 0.0;
+  std::size_t expiring = 0;
+  for (const Arrival& arrival : arrivals) {
+    ASSERT_NE(arrival.lifetime, kNever);
+    sum += static_cast<double>(arrival.lifetime);
+    ++expiring;
+  }
+  ASSERT_GT(expiring, 0u);
+  EXPECT_NEAR(sum / static_cast<double>(expiring) /
+                  static_cast<double>(hours(4.0)),
+              1.0, 0.05);
+}
+
+TEST(ArrivalsTest, ExpiringFractionRespected) {
+  ScenarioConfig config = short_config();
+  config.horizon = 365 * kDay;
+  config.mean_expiration = hours(1.0);
+  config.expiring_fraction = 0.5;
+  Rng rng(6);
+  auto arrivals = generate_arrivals(config, rng);
+  const auto expiring = static_cast<double>(std::count_if(
+      arrivals.begin(), arrivals.end(),
+      [](const Arrival& a) { return a.lifetime != kNever; }));
+  EXPECT_NEAR(expiring / static_cast<double>(arrivals.size()), 0.5, 0.05);
+}
+
+TEST(ArrivalsTest, ZeroFrequencyYieldsNothing) {
+  ScenarioConfig config = short_config();
+  config.event_frequency = 0.0;
+  Rng rng(7);
+  EXPECT_TRUE(generate_arrivals(config, rng).empty());
+}
+
+TEST(ReadsTest, DailyFrequencyRespected) {
+  ScenarioConfig config;
+  config.horizon = 365 * kDay;
+  config.user_frequency = 2.0;
+  Rng rng(8);
+  auto reads = generate_reads(config, rng);
+  EXPECT_NEAR(static_cast<double>(reads.size()), 2.0 * 365.0, 80.0);
+}
+
+TEST(ReadsTest, FractionalFrequencyAccumulates) {
+  ScenarioConfig config;
+  config.horizon = 365 * kDay;
+  config.user_frequency = 0.25;  // about every 4 days
+  Rng rng(9);
+  auto reads = generate_reads(config, rng);
+  EXPECT_NEAR(static_cast<double>(reads.size()), 0.25 * 365.0, 30.0);
+}
+
+TEST(ReadsTest, SortedWithinHorizon) {
+  ScenarioConfig config;
+  config.horizon = 60 * kDay;
+  Rng rng(10);
+  auto reads = generate_reads(config, rng);
+  ASSERT_FALSE(reads.empty());
+  EXPECT_TRUE(std::is_sorted(reads.begin(), reads.end()));
+  EXPECT_GE(reads.front(), 0);
+  EXPECT_LT(reads.back(), config.horizon);
+}
+
+TEST(ReadsTest, ReadsFallInAwakeHours) {
+  ScenarioConfig config;
+  config.horizon = 365 * kDay;
+  config.user_frequency = 4.0;
+  config.awake_start_jitter = 10 * kMinute;  // keep the window tight
+  Rng rng(11);
+  auto reads = generate_reads(config, rng);
+  // Awake window starts around 7am +- jitter and lasts 16-17h; nothing
+  // should land in the small hours (2am-5am) of the same day.
+  for (SimTime read : reads) {
+    const SimTime of_day = read % kDay;
+    const bool small_hours = of_day > 2 * kHour && of_day < 5 * kHour;
+    EXPECT_FALSE(small_hours) << "read at " << format_duration(of_day);
+  }
+}
+
+TEST(ReadsTest, ZeroFrequencyYieldsNothing) {
+  ScenarioConfig config;
+  config.user_frequency = 0.0;
+  Rng rng(12);
+  EXPECT_TRUE(generate_reads(config, rng).empty());
+}
+
+TEST(OutagesTest, FractionCalibrated) {
+  ScenarioConfig config;
+  config.horizon = 365 * kDay;
+  for (double target : {0.1, 0.5, 0.9}) {
+    config.outage_fraction = target;
+    Rng rng(13);
+    auto schedule = generate_outages(config, rng);
+    EXPECT_NEAR(schedule.downtime_fraction(), target, 0.08)
+        << "target " << target;
+  }
+}
+
+TEST(OutagesTest, ExtremesAreExact) {
+  ScenarioConfig config;
+  config.horizon = 30 * kDay;
+  Rng rng(14);
+  config.outage_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(generate_outages(config, rng).downtime_fraction(), 0.0);
+  config.outage_fraction = 1.0;
+  EXPECT_DOUBLE_EQ(generate_outages(config, rng).downtime_fraction(), 1.0);
+}
+
+TEST(RankChangesTest, NoneByDefault) {
+  ScenarioConfig config = short_config();
+  Rng arrivals_rng(15);
+  Rng changes_rng(16);
+  auto arrivals = generate_arrivals(config, arrivals_rng);
+  EXPECT_TRUE(generate_rank_changes(config, arrivals, changes_rng).empty());
+}
+
+TEST(RankChangesTest, DropsTargetFractionAndComeAfterPublish) {
+  ScenarioConfig config;
+  config.horizon = 365 * kDay;
+  config.rank_drop_fraction = 0.2;
+  config.dropped_rank = 0.0;
+  Rng arrivals_rng(17);
+  Rng changes_rng(18);
+  auto arrivals = generate_arrivals(config, arrivals_rng);
+  auto changes = generate_rank_changes(config, arrivals, changes_rng);
+  EXPECT_NEAR(static_cast<double>(changes.size()) /
+                  static_cast<double>(arrivals.size()),
+              0.2, 0.03);
+  for (const RankChange& change : changes) {
+    EXPECT_GE(change.time, arrivals[change.arrival_index].time);
+    EXPECT_DOUBLE_EQ(change.new_rank, 0.0);
+  }
+  EXPECT_TRUE(std::is_sorted(changes.begin(), changes.end(),
+                             [](const RankChange& a, const RankChange& b) {
+                               return a.time < b.time;
+                             }));
+}
+
+TEST(RankChangesTest, RaisesBoostRank) {
+  ScenarioConfig config;
+  config.horizon = 90 * kDay;
+  config.rank_raise_fraction = 0.5;
+  Rng arrivals_rng(19);
+  Rng changes_rng(20);
+  auto arrivals = generate_arrivals(config, arrivals_rng);
+  auto changes = generate_rank_changes(config, arrivals, changes_rng);
+  ASSERT_FALSE(changes.empty());
+  for (const RankChange& change : changes) {
+    EXPECT_GT(change.new_rank, arrivals[change.arrival_index].rank);
+  }
+}
+
+TEST(TraceTest, DeterministicForSeed) {
+  ScenarioConfig config = short_config();
+  config.outage_fraction = 0.3;
+  config.mean_expiration = hours(2.0);
+  const Trace a = generate_trace(config, 42);
+  const Trace b = generate_trace(config, 42);
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  for (std::size_t i = 0; i < a.arrivals.size(); ++i) {
+    EXPECT_EQ(a.arrivals[i].time, b.arrivals[i].time);
+    EXPECT_DOUBLE_EQ(a.arrivals[i].rank, b.arrivals[i].rank);
+    EXPECT_EQ(a.arrivals[i].lifetime, b.arrivals[i].lifetime);
+  }
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.outages.count(), b.outages.count());
+}
+
+TEST(TraceTest, DifferentSeedsDiffer) {
+  ScenarioConfig config = short_config();
+  const Trace a = generate_trace(config, 1);
+  const Trace b = generate_trace(config, 2);
+  ASSERT_FALSE(a.arrivals.empty());
+  ASSERT_FALSE(b.arrivals.empty());
+  EXPECT_NE(a.arrivals.front().time, b.arrivals.front().time);
+}
+
+TEST(TraceTest, OutageParametersDoNotPerturbArrivals) {
+  // Independent streams: sweeping the outage fraction must keep the arrival
+  // sequence identical, which is what makes paper-style sweeps comparable.
+  ScenarioConfig with = short_config();
+  with.outage_fraction = 0.5;
+  ScenarioConfig without = short_config();
+  const Trace a = generate_trace(with, 7);
+  const Trace b = generate_trace(without, 7);
+  ASSERT_EQ(a.arrivals.size(), b.arrivals.size());
+  for (std::size_t i = 0; i < a.arrivals.size(); ++i) {
+    EXPECT_EQ(a.arrivals[i].time, b.arrivals[i].time);
+  }
+  EXPECT_EQ(a.reads, b.reads);
+}
+
+}  // namespace
+}  // namespace waif::workload
