@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_multidevice.dir/ablate_multidevice.cpp.o"
+  "CMakeFiles/ablate_multidevice.dir/ablate_multidevice.cpp.o.d"
+  "ablate_multidevice"
+  "ablate_multidevice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_multidevice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_rank_changes.cpp" "bench/CMakeFiles/ablate_rank_changes.dir/ablate_rank_changes.cpp.o" "gcc" "bench/CMakeFiles/ablate_rank_changes.dir/ablate_rank_changes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/waif_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/waif_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/waif_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/waif_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/waif_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/waif_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/waif_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/waif_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/waif_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

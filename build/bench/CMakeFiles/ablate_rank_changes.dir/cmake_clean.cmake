@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rank_changes.dir/ablate_rank_changes.cpp.o"
+  "CMakeFiles/ablate_rank_changes.dir/ablate_rank_changes.cpp.o.d"
+  "ablate_rank_changes"
+  "ablate_rank_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rank_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

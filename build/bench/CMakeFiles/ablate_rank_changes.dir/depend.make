@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_rank_changes.
+# This may be replaced when dependencies are built.

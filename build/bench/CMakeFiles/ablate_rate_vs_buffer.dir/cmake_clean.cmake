@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rate_vs_buffer.dir/ablate_rate_vs_buffer.cpp.o"
+  "CMakeFiles/ablate_rate_vs_buffer.dir/ablate_rate_vs_buffer.cpp.o.d"
+  "ablate_rate_vs_buffer"
+  "ablate_rate_vs_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rate_vs_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_rate_vs_buffer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_unified.dir/ablate_unified.cpp.o"
+  "CMakeFiles/ablate_unified.dir/ablate_unified.cpp.o.d"
+  "ablate_unified"
+  "ablate_unified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_unified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

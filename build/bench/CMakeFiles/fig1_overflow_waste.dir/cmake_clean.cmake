@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_overflow_waste.dir/fig1_overflow_waste.cpp.o"
+  "CMakeFiles/fig1_overflow_waste.dir/fig1_overflow_waste.cpp.o.d"
+  "fig1_overflow_waste"
+  "fig1_overflow_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_overflow_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_overflow_loss.dir/fig2_overflow_loss.cpp.o"
+  "CMakeFiles/fig2_overflow_loss.dir/fig2_overflow_loss.cpp.o.d"
+  "fig2_overflow_loss"
+  "fig2_overflow_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_overflow_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_buffer_prefetch.dir/fig3_buffer_prefetch.cpp.o"
+  "CMakeFiles/fig3_buffer_prefetch.dir/fig3_buffer_prefetch.cpp.o.d"
+  "fig3_buffer_prefetch"
+  "fig3_buffer_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_buffer_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

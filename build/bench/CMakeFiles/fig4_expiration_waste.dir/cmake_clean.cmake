@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_expiration_waste.dir/fig4_expiration_waste.cpp.o"
+  "CMakeFiles/fig4_expiration_waste.dir/fig4_expiration_waste.cpp.o.d"
+  "fig4_expiration_waste"
+  "fig4_expiration_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_expiration_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

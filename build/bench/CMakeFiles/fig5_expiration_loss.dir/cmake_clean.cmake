@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_expiration_loss.dir/fig5_expiration_loss.cpp.o"
+  "CMakeFiles/fig5_expiration_loss.dir/fig5_expiration_loss.cpp.o.d"
+  "fig5_expiration_loss"
+  "fig5_expiration_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_expiration_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

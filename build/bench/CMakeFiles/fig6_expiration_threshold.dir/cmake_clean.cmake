@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_expiration_threshold.dir/fig6_expiration_threshold.cpp.o"
+  "CMakeFiles/fig6_expiration_threshold.dir/fig6_expiration_threshold.cpp.o.d"
+  "fig6_expiration_threshold"
+  "fig6_expiration_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_expiration_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_proxies.dir/scale_proxies.cpp.o"
+  "CMakeFiles/scale_proxies.dir/scale_proxies.cpp.o.d"
+  "scale_proxies"
+  "scale_proxies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_proxies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

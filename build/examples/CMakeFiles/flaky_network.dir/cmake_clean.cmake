@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flaky_network.dir/flaky_network.cpp.o"
+  "CMakeFiles/flaky_network.dir/flaky_network.cpp.o.d"
+  "flaky_network"
+  "flaky_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flaky_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

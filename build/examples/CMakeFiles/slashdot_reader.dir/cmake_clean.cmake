@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slashdot_reader.dir/slashdot_reader.cpp.o"
+  "CMakeFiles/slashdot_reader.dir/slashdot_reader.cpp.o.d"
+  "slashdot_reader"
+  "slashdot_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slashdot_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_alerts.dir/traffic_alerts.cpp.o"
+  "CMakeFiles/traffic_alerts.dir/traffic_alerts.cpp.o.d"
+  "traffic_alerts"
+  "traffic_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

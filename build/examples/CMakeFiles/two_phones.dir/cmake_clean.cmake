@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_phones.dir/two_phones.cpp.o"
+  "CMakeFiles/two_phones.dir/two_phones.cpp.o.d"
+  "two_phones"
+  "two_phones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_phones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/distributions.cpp" "src/common/CMakeFiles/waif_common.dir/distributions.cpp.o" "gcc" "src/common/CMakeFiles/waif_common.dir/distributions.cpp.o.d"
+  "/root/repo/src/common/flags.cpp" "src/common/CMakeFiles/waif_common.dir/flags.cpp.o" "gcc" "src/common/CMakeFiles/waif_common.dir/flags.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/waif_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/waif_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/moving_stats.cpp" "src/common/CMakeFiles/waif_common.dir/moving_stats.cpp.o" "gcc" "src/common/CMakeFiles/waif_common.dir/moving_stats.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/waif_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/waif_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/time.cpp" "src/common/CMakeFiles/waif_common.dir/time.cpp.o" "gcc" "src/common/CMakeFiles/waif_common.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waif_common.dir/distributions.cpp.o"
+  "CMakeFiles/waif_common.dir/distributions.cpp.o.d"
+  "CMakeFiles/waif_common.dir/flags.cpp.o"
+  "CMakeFiles/waif_common.dir/flags.cpp.o.d"
+  "CMakeFiles/waif_common.dir/logging.cpp.o"
+  "CMakeFiles/waif_common.dir/logging.cpp.o.d"
+  "CMakeFiles/waif_common.dir/moving_stats.cpp.o"
+  "CMakeFiles/waif_common.dir/moving_stats.cpp.o.d"
+  "CMakeFiles/waif_common.dir/rng.cpp.o"
+  "CMakeFiles/waif_common.dir/rng.cpp.o.d"
+  "CMakeFiles/waif_common.dir/time.cpp.o"
+  "CMakeFiles/waif_common.dir/time.cpp.o.d"
+  "libwaif_common.a"
+  "libwaif_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waif_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel.cpp" "src/core/CMakeFiles/waif_core.dir/channel.cpp.o" "gcc" "src/core/CMakeFiles/waif_core.dir/channel.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/core/CMakeFiles/waif_core.dir/context.cpp.o" "gcc" "src/core/CMakeFiles/waif_core.dir/context.cpp.o.d"
+  "/root/repo/src/core/device_group.cpp" "src/core/CMakeFiles/waif_core.dir/device_group.cpp.o" "gcc" "src/core/CMakeFiles/waif_core.dir/device_group.cpp.o.d"
+  "/root/repo/src/core/forwarding_policy.cpp" "src/core/CMakeFiles/waif_core.dir/forwarding_policy.cpp.o" "gcc" "src/core/CMakeFiles/waif_core.dir/forwarding_policy.cpp.o.d"
+  "/root/repo/src/core/proxy.cpp" "src/core/CMakeFiles/waif_core.dir/proxy.cpp.o" "gcc" "src/core/CMakeFiles/waif_core.dir/proxy.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/core/CMakeFiles/waif_core.dir/replication.cpp.o" "gcc" "src/core/CMakeFiles/waif_core.dir/replication.cpp.o.d"
+  "/root/repo/src/core/topic_state.cpp" "src/core/CMakeFiles/waif_core.dir/topic_state.cpp.o" "gcc" "src/core/CMakeFiles/waif_core.dir/topic_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waif_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/waif_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pubsub/CMakeFiles/waif_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/waif_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/waif_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

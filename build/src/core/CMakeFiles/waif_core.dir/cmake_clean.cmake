@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waif_core.dir/channel.cpp.o"
+  "CMakeFiles/waif_core.dir/channel.cpp.o.d"
+  "CMakeFiles/waif_core.dir/context.cpp.o"
+  "CMakeFiles/waif_core.dir/context.cpp.o.d"
+  "CMakeFiles/waif_core.dir/device_group.cpp.o"
+  "CMakeFiles/waif_core.dir/device_group.cpp.o.d"
+  "CMakeFiles/waif_core.dir/forwarding_policy.cpp.o"
+  "CMakeFiles/waif_core.dir/forwarding_policy.cpp.o.d"
+  "CMakeFiles/waif_core.dir/proxy.cpp.o"
+  "CMakeFiles/waif_core.dir/proxy.cpp.o.d"
+  "CMakeFiles/waif_core.dir/replication.cpp.o"
+  "CMakeFiles/waif_core.dir/replication.cpp.o.d"
+  "CMakeFiles/waif_core.dir/topic_state.cpp.o"
+  "CMakeFiles/waif_core.dir/topic_state.cpp.o.d"
+  "libwaif_core.a"
+  "libwaif_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waif_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waif_device.dir/device.cpp.o"
+  "CMakeFiles/waif_device.dir/device.cpp.o.d"
+  "libwaif_device.a"
+  "libwaif_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waif_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

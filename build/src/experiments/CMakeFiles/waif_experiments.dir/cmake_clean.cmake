@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waif_experiments.dir/runner.cpp.o"
+  "CMakeFiles/waif_experiments.dir/runner.cpp.o.d"
+  "libwaif_experiments.a"
+  "libwaif_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waif_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwaif_experiments.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waif_metrics.dir/inefficiency.cpp.o"
+  "CMakeFiles/waif_metrics.dir/inefficiency.cpp.o.d"
+  "CMakeFiles/waif_metrics.dir/table.cpp.o"
+  "CMakeFiles/waif_metrics.dir/table.cpp.o.d"
+  "libwaif_metrics.a"
+  "libwaif_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waif_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waif_net.dir/link.cpp.o"
+  "CMakeFiles/waif_net.dir/link.cpp.o.d"
+  "CMakeFiles/waif_net.dir/outage.cpp.o"
+  "CMakeFiles/waif_net.dir/outage.cpp.o.d"
+  "libwaif_net.a"
+  "libwaif_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waif_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

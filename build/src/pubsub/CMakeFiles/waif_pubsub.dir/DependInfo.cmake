@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pubsub/broker.cpp" "src/pubsub/CMakeFiles/waif_pubsub.dir/broker.cpp.o" "gcc" "src/pubsub/CMakeFiles/waif_pubsub.dir/broker.cpp.o.d"
+  "/root/repo/src/pubsub/notification.cpp" "src/pubsub/CMakeFiles/waif_pubsub.dir/notification.cpp.o" "gcc" "src/pubsub/CMakeFiles/waif_pubsub.dir/notification.cpp.o.d"
+  "/root/repo/src/pubsub/overlay.cpp" "src/pubsub/CMakeFiles/waif_pubsub.dir/overlay.cpp.o" "gcc" "src/pubsub/CMakeFiles/waif_pubsub.dir/overlay.cpp.o.d"
+  "/root/repo/src/pubsub/publisher.cpp" "src/pubsub/CMakeFiles/waif_pubsub.dir/publisher.cpp.o" "gcc" "src/pubsub/CMakeFiles/waif_pubsub.dir/publisher.cpp.o.d"
+  "/root/repo/src/pubsub/ranked_queue.cpp" "src/pubsub/CMakeFiles/waif_pubsub.dir/ranked_queue.cpp.o" "gcc" "src/pubsub/CMakeFiles/waif_pubsub.dir/ranked_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/waif_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/waif_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

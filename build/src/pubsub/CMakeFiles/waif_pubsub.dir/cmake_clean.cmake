@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waif_pubsub.dir/broker.cpp.o"
+  "CMakeFiles/waif_pubsub.dir/broker.cpp.o.d"
+  "CMakeFiles/waif_pubsub.dir/notification.cpp.o"
+  "CMakeFiles/waif_pubsub.dir/notification.cpp.o.d"
+  "CMakeFiles/waif_pubsub.dir/overlay.cpp.o"
+  "CMakeFiles/waif_pubsub.dir/overlay.cpp.o.d"
+  "CMakeFiles/waif_pubsub.dir/publisher.cpp.o"
+  "CMakeFiles/waif_pubsub.dir/publisher.cpp.o.d"
+  "CMakeFiles/waif_pubsub.dir/ranked_queue.cpp.o"
+  "CMakeFiles/waif_pubsub.dir/ranked_queue.cpp.o.d"
+  "libwaif_pubsub.a"
+  "libwaif_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waif_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

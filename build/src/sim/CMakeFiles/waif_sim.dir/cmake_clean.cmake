@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waif_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/waif_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/waif_sim.dir/simulator.cpp.o"
+  "CMakeFiles/waif_sim.dir/simulator.cpp.o.d"
+  "libwaif_sim.a"
+  "libwaif_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waif_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

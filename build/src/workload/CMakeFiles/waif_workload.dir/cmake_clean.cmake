@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waif_workload.dir/serialization.cpp.o"
+  "CMakeFiles/waif_workload.dir/serialization.cpp.o.d"
+  "CMakeFiles/waif_workload.dir/trace.cpp.o"
+  "CMakeFiles/waif_workload.dir/trace.cpp.o.d"
+  "libwaif_workload.a"
+  "libwaif_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waif_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/context_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/context_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/device_group_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/device_group_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/proxy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/proxy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/ranked_queue_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/ranked_queue_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/refinements_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/refinements_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/replication_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/replication_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sync_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sync_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/topic_state_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/topic_state_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pubsub.dir/pubsub/broker_test.cpp.o"
+  "CMakeFiles/test_pubsub.dir/pubsub/broker_test.cpp.o.d"
+  "CMakeFiles/test_pubsub.dir/pubsub/notification_test.cpp.o"
+  "CMakeFiles/test_pubsub.dir/pubsub/notification_test.cpp.o.d"
+  "CMakeFiles/test_pubsub.dir/pubsub/overlay_property_test.cpp.o"
+  "CMakeFiles/test_pubsub.dir/pubsub/overlay_property_test.cpp.o.d"
+  "CMakeFiles/test_pubsub.dir/pubsub/overlay_test.cpp.o"
+  "CMakeFiles/test_pubsub.dir/pubsub/overlay_test.cpp.o.d"
+  "CMakeFiles/test_pubsub.dir/pubsub/publisher_test.cpp.o"
+  "CMakeFiles/test_pubsub.dir/pubsub/publisher_test.cpp.o.d"
+  "test_pubsub"
+  "test_pubsub.pdb"
+  "test_pubsub[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
