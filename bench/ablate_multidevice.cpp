@@ -100,7 +100,9 @@ GroupResult run_group(const workload::ScenarioConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  experiments::ParallelRunner runner(bench::parse_jobs(
+      argc, argv, "Section 4 ablation — cooperating devices"));
   const std::vector<double> outages = {0.5, 0.7, 0.9};
   metrics::Table table(
       "Ablation (Section 4) — one device vs two cooperating devices\n"
@@ -110,38 +112,44 @@ int main() {
       "outage",
       {"solo loss", "duo loss", "solo waste", "duo waste", "peer reads/day"});
 
-  for (double outage : outages) {
-    workload::ScenarioConfig config = bench::paper_config();
-    config.user_frequency = 2.0;
-    config.max = 8;
-    config.outage_fraction = outage;
-    // Long outages (mean two days) are where cooperation matters: the phone
-    // performs several reads inside one outage and runs its 16-message
-    // buffer dry; the laptop, on an independent schedule, often synced more
-    // recently.
-    config.mean_outage = 2 * kDay;
+  // Each outage level is one independent replay triple (baseline, solo,
+  // duo) — submit them through the runner; rows come back in order.
+  const std::vector<std::vector<double>> rows =
+      runner.map(outages.size(), [&outages](std::size_t i) {
+        workload::ScenarioConfig config = bench::paper_config();
+        config.user_frequency = 2.0;
+        config.max = 8;
+        config.outage_fraction = outages[i];
+        // Long outages (mean two days) are where cooperation matters: the
+        // phone performs several reads inside one outage and runs its
+        // 16-message buffer dry; the laptop, on an independent schedule,
+        // often synced more recently.
+        config.mean_outage = 2 * kDay;
 
-    const std::uint64_t seed = 1;
-    const workload::Trace trace = workload::generate_trace(config, seed);
-    const experiments::RunOutcome baseline = experiments::run_trace(
-        trace, config, core::PolicyConfig::online());
+        const std::uint64_t seed = 1;
+        const workload::Trace trace = workload::generate_trace(config, seed);
+        const experiments::RunOutcome baseline = experiments::run_trace(
+            trace, config, core::PolicyConfig::online());
 
-    const GroupResult solo = run_group(config, trace, 1, seed);
-    const GroupResult duo = run_group(config, trace, 2, seed);
+        const GroupResult solo = run_group(config, trace, 1, seed);
+        const GroupResult duo = run_group(config, trace, 2, seed);
 
-    auto waste = [](const GroupResult& r) {
-      if (r.forwarded_unique == 0) return 0.0;
-      return 100.0 *
-             static_cast<double>(r.forwarded_unique - r.read_ids.size()) /
-             static_cast<double>(r.forwarded_unique);
-    };
-    table.add_row(
-        bench::fmt("%.1f", outage),
-        {metrics::loss_percent(baseline.read_ids, solo.read_ids),
-         metrics::loss_percent(baseline.read_ids, duo.read_ids),
-         waste(solo), waste(duo),
-         static_cast<double>(duo.peer_reads) / to_days(config.horizon)});
+        auto waste = [](const GroupResult& r) {
+          if (r.forwarded_unique == 0) return 0.0;
+          return 100.0 *
+                 static_cast<double>(r.forwarded_unique - r.read_ids.size()) /
+                 static_cast<double>(r.forwarded_unique);
+        };
+        return std::vector<double>{
+            metrics::loss_percent(baseline.read_ids, solo.read_ids),
+            metrics::loss_percent(baseline.read_ids, duo.read_ids),
+            waste(solo), waste(duo),
+            static_cast<double>(duo.peer_reads) / to_days(config.horizon)};
+      });
+  for (std::size_t i = 0; i < outages.size(); ++i) {
+    table.add_row(bench::fmt("%.1f", outages[i]), rows[i]);
   }
+  bench::report_sweep(runner);
 
   bench::emit(table,
               "the second cache cuts loss: reads during the phone's long "

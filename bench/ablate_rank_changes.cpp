@@ -10,7 +10,9 @@
 
 using namespace waif;
 
-int main() {
+int main(int argc, char** argv) {
+  experiments::ParallelRunner runner(bench::parse_jobs(
+      argc, argv, "Section 3.4 ablation — rank changes vs the delay stage"));
   const std::vector<double> drop_fractions = {0.0, 0.1, 0.3, 0.5};
   const std::vector<SimDuration> delays = {0, minutes(30.0), hours(2.0),
                                            hours(8.0)};
@@ -30,6 +32,7 @@ int main() {
       "rank drops detected after ~1h exponential)",
       "drop-frac", series);
 
+  std::vector<experiments::SweepPoint> points;
   for (double drop_fraction : drop_fractions) {
     workload::ScenarioConfig config = bench::paper_config();
     config.user_frequency = 2.0;
@@ -39,12 +42,23 @@ int main() {
     config.mean_rank_drop_delay = hours(1.0);
     config.dropped_rank = 0.0;
 
-    std::vector<double> row;
     for (SimDuration delay : delays) {
-      core::PolicyConfig policy = core::PolicyConfig::buffer(16);
-      policy.delay = delay;
-      const experiments::Comparison comparison =
-          experiments::compare_policies(config, policy, /*seed=*/1);
+      experiments::SweepPoint point;
+      point.scenario = config;
+      point.policy = core::PolicyConfig::buffer(16);
+      point.policy.delay = delay;
+      point.seed = 1;
+      points.push_back(point);
+    }
+  }
+  const std::vector<experiments::Comparison> comparisons =
+      runner.compare(points);
+
+  std::size_t cursor = 0;
+  for (double drop_fraction : drop_fractions) {
+    std::vector<double> row;
+    for (std::size_t d = 0; d < delays.size(); ++d, ++cursor) {
+      const experiments::Comparison& comparison = comparisons[cursor];
       row.push_back(comparison.waste_percent);
       row.push_back(
           1000.0 *
@@ -53,6 +67,7 @@ int main() {
     }
     table.add_row(bench::fmt("%.1f", drop_fraction), row);
   }
+  bench::report_sweep(runner);
 
   bench::emit(table,
               "with no delay, retraction notices (and the wasted transfers "

@@ -9,7 +9,9 @@
 
 using namespace waif;
 
-int main() {
+int main(int argc, char** argv) {
+  experiments::ParallelRunner runner(bench::parse_jobs(
+      argc, argv, "Section 3.2 ablation — prefetching policies head-to-head"));
   const std::vector<double> outages = {0.1, 0.3, 0.5, 0.7, 0.9};
 
   const std::vector<std::string> series = {
@@ -22,31 +24,40 @@ int main() {
       "8, one virtual year)",
       "outage", series);
 
+  // Dynamic ratio: learned from live reads only (it starves when the link
+  // is rarely up); oracle ratio: the true consumption/production ratio
+  // uf*Max/ef = 0.5, as in the paper's "with a ratio of 0.2, forwarding
+  // takes place at the arrival of every 5th message".
+  const std::vector<core::PolicyConfig> policies = {
+      core::PolicyConfig::buffer(16), core::PolicyConfig::rate(0.0),
+      core::PolicyConfig::rate(0.5), core::PolicyConfig::adaptive()};
+
+  std::vector<experiments::EvalPoint> points;
   for (double outage : outages) {
-    workload::ScenarioConfig config = bench::paper_config();
-    config.user_frequency = 2.0;
-    config.max = 8;
-    config.outage_fraction = outage;
-
-    const experiments::Aggregate buffer = experiments::evaluate(
-        config, core::PolicyConfig::buffer(16), /*seeds=*/3);
-    // Dynamic ratio: learned from live reads only (it starves when the link
-    // is rarely up); oracle ratio: the true consumption/production ratio
-    // uf*Max/ef = 0.5, as in the paper's "with a ratio of 0.2, forwarding
-    // takes place at the arrival of every 5th message".
-    const experiments::Aggregate rate_dynamic = experiments::evaluate(
-        config, core::PolicyConfig::rate(0.0), /*seeds=*/3);
-    const experiments::Aggregate rate_oracle = experiments::evaluate(
-        config, core::PolicyConfig::rate(0.5), /*seeds=*/3);
-    const experiments::Aggregate adaptive = experiments::evaluate(
-        config, core::PolicyConfig::adaptive(), /*seeds=*/3);
-
-    table.add_row(bench::fmt("%.1f", outage),
-                  {buffer.waste_percent, buffer.loss_percent,
-                   rate_dynamic.waste_percent, rate_dynamic.loss_percent,
-                   rate_oracle.waste_percent, rate_oracle.loss_percent,
-                   adaptive.waste_percent, adaptive.loss_percent});
+    for (const core::PolicyConfig& policy : policies) {
+      experiments::EvalPoint point;
+      point.scenario = bench::paper_config();
+      point.scenario.user_frequency = 2.0;
+      point.scenario.max = 8;
+      point.scenario.outage_fraction = outage;
+      point.policy = policy;
+      point.seeds = 3;
+      points.push_back(point);
+    }
   }
+  const std::vector<experiments::Aggregate> aggregates =
+      runner.evaluate_many(points);
+
+  std::size_t cursor = 0;
+  for (double outage : outages) {
+    std::vector<double> row;
+    for (std::size_t p = 0; p < policies.size(); ++p, ++cursor) {
+      row.push_back(aggregates[cursor].waste_percent);
+      row.push_back(aggregates[cursor].loss_percent);
+    }
+    table.add_row(bench::fmt("%.1f", outage), row);
+  }
+  bench::report_sweep(runner);
 
   bench::emit(table,
               "both prefetchers keep waste and loss within a few percentage "

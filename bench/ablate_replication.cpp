@@ -4,6 +4,7 @@
 // replica that received the same feed and asynchronously learned what was
 // forwarded. The replication latency controls the duplicate-transfer window.
 #include <cstdio>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -112,7 +113,9 @@ CrashResult run_with_crash(const workload::ScenarioConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  experiments::ParallelRunner runner(bench::parse_jobs(
+      argc, argv, "Section 4 ablation — proxy replication vs cold restart"));
   // A no-overflow regime (capacity 64/day vs 32/day produced): the user
   // would eventually read everything, so state lost in a cold restart is
   // pure loss. Heavy outages make the proxy's queues deep at crash time.
@@ -144,24 +147,34 @@ int main() {
       {"replica, latency 1h", kHour},
       {"cold restart (no replica)", -1},
   };
-  for (const Variant& variant : variants) {
-    CrashResult result;
-    if (variant.latency == -2) {
-      // Reference: the same replicated setup without any crash. Reuse the
-      // single-proxy runner (equivalent when nothing fails).
-      const experiments::RunOutcome outcome = experiments::run_trace(
-          trace, config, core::PolicyConfig::buffer(64));
-      result.read_ids = outcome.read_ids;
-      result.duplicates = outcome.device.duplicate_receives;
-      result.transfers = outcome.link.downlink_messages;
-    } else {
-      result = run_with_crash(config, trace, variant.latency);
-    }
-    table.add_row(variant.name,
-                  {metrics::loss_percent(baseline.read_ids, result.read_ids),
-                   static_cast<double>(result.duplicates),
-                   static_cast<double>(result.transfers)});
+  // Variants are independent replays over the shared (read-only) trace;
+  // submit one job per variant, results in table order.
+  const std::size_t variant_count = std::size(variants);
+  const std::vector<CrashResult> results =
+      runner.map(variant_count, [&variants, &config, &trace](std::size_t i) {
+        const Variant& variant = variants[i];
+        CrashResult result;
+        if (variant.latency == -2) {
+          // Reference: the same replicated setup without any crash. Reuse
+          // the single-proxy runner (equivalent when nothing fails).
+          const experiments::RunOutcome outcome = experiments::run_trace(
+              trace, config, core::PolicyConfig::buffer(64));
+          result.read_ids = outcome.read_ids;
+          result.duplicates = outcome.device.duplicate_receives;
+          result.transfers = outcome.link.downlink_messages;
+        } else {
+          result = run_with_crash(config, trace, variant.latency);
+        }
+        return result;
+      });
+  for (std::size_t i = 0; i < variant_count; ++i) {
+    table.add_row(variants[i].name,
+                  {metrics::loss_percent(baseline.read_ids,
+                                         results[i].read_ids),
+                   static_cast<double>(results[i].duplicates),
+                   static_cast<double>(results[i].transfers)});
   }
+  bench::report_sweep(runner);
 
   bench::emit(table,
               "failover keeps loss at the no-failure level; the duplicate "

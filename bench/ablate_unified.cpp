@@ -19,7 +19,9 @@ struct Regime {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  experiments::ParallelRunner runner(bench::parse_jobs(
+      argc, argv, "Section 3.5 ablation — unified adaptive algorithm"));
   std::vector<Regime> regimes;
   {
     Regime overflow{"overflow only", bench::paper_config()};
@@ -77,18 +79,33 @@ int main() {
       "virtual year, 2 seeds)",
       "regime", series);
 
+  const std::vector<core::PolicyConfig> policies = {
+      core::PolicyConfig::online(), core::PolicyConfig::on_demand(),
+      core::PolicyConfig::buffer(16), core::PolicyConfig::adaptive()};
+
+  std::vector<experiments::EvalPoint> points;
+  for (const Regime& regime : regimes) {
+    for (const core::PolicyConfig& policy : policies) {
+      experiments::EvalPoint point;
+      point.scenario = regime.config;
+      point.policy = policy;
+      point.seeds = 2;
+      points.push_back(point);
+    }
+  }
+  const std::vector<experiments::Aggregate> aggregates =
+      runner.evaluate_many(points);
+
+  std::size_t cursor = 0;
   for (const Regime& regime : regimes) {
     std::vector<double> row;
-    for (const core::PolicyConfig& policy :
-         {core::PolicyConfig::online(), core::PolicyConfig::on_demand(),
-          core::PolicyConfig::buffer(16), core::PolicyConfig::adaptive()}) {
-      const experiments::Aggregate aggregate =
-          experiments::evaluate(regime.config, policy, /*seeds=*/2);
-      row.push_back(aggregate.waste_percent);
-      row.push_back(aggregate.loss_percent);
+    for (std::size_t p = 0; p < policies.size(); ++p, ++cursor) {
+      row.push_back(aggregates[cursor].waste_percent);
+      row.push_back(aggregates[cursor].loss_percent);
     }
     table.add_row(regime.name, row);
   }
+  bench::report_sweep(runner);
 
   bench::emit(table,
               "online: ~50% waste / 0 loss; on-demand: 0 waste / heavy loss "

@@ -1,12 +1,20 @@
 // Shared helpers for the figure-reproduction bench binaries.
+//
+// Every bench submits its sweep through experiments::ParallelRunner; the
+// shared --jobs flag picks the worker count (0 = all hardware threads) and
+// report_sweep() prints the wall-clock speedup against the
+// sequential-equivalent cost of the same jobs.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/time.h"
+#include "experiments/parallel_runner.h"
 #include "experiments/runner.h"
 #include "metrics/table.h"
 #include "workload/scenario.h"
@@ -21,18 +29,36 @@ inline workload::ScenarioConfig paper_config() {
   return config;
 }
 
-/// Mean waste over `seeds` paired runs.
-inline double mean_waste(const workload::ScenarioConfig& config,
-                         const core::PolicyConfig& policy,
-                         std::uint64_t seeds = 3) {
-  return experiments::evaluate(config, policy, seeds).waste_percent;
+/// Parses the shared bench flags and returns the requested worker count for
+/// experiments::ParallelRunner (0 = all hardware threads). Exits the process
+/// on --help or a malformed flag. `default_jobs` lets timing-sensitive
+/// benches (scale_proxies) default to one worker.
+inline std::size_t parse_jobs(int argc, const char* const* argv,
+                              const std::string& description,
+                              std::int64_t default_jobs = 0) {
+  std::int64_t jobs = default_jobs;
+  FlagSet flags(description);
+  flags.add_int("jobs", &jobs,
+                "sweep worker threads (0 = all hardware threads)");
+  if (!flags.parse(argc - 1, argv + 1)) std::exit(1);
+  if (jobs < 0) {
+    std::fprintf(stderr, "--jobs must be >= 0\n");
+    std::exit(1);
+  }
+  return static_cast<std::size_t>(jobs);
 }
 
-/// Mean loss over `seeds` paired runs.
-inline double mean_loss(const workload::ScenarioConfig& config,
-                        const core::PolicyConfig& policy,
-                        std::uint64_t seeds = 3) {
-  return experiments::evaluate(config, policy, seeds).loss_percent;
+/// Prints the accounting of the runner's most recent sweep: the observed
+/// wall clock, the sequential-equivalent cost (sum of per-job run times),
+/// and the resulting speedup.
+inline void report_sweep(const experiments::ParallelRunner& runner) {
+  const experiments::SweepStats& stats = runner.last_stats();
+  if (stats.jobs == 0) return;
+  std::printf(
+      "sweep: %zu jobs on %zu thread(s) — wall %.2f s, "
+      "sequential-equivalent %.2f s, speedup %.2fx\n\n",
+      stats.jobs, stats.threads, stats.wall_seconds, stats.task_seconds,
+      stats.speedup());
 }
 
 /// Prints the table followed by the paper's expected shape, so the output is

@@ -15,9 +15,11 @@
 
 using namespace waif;
 
-int main() {
+int main(int argc, char** argv) {
   const std::vector<double> user_frequencies = {0.25, 0.5, 1, 2, 4, 8, 16, 32};
   const std::vector<int> max_values = {1, 2, 4, 8, 16, 32, 64};
+  experiments::ParallelRunner runner(
+      bench::parse_jobs(argc, argv, "fig1 — waste due to overflow"));
 
   std::vector<std::string> series;
   series.reserve(user_frequencies.size());
@@ -28,18 +30,32 @@ int main() {
       "frequency\n(event frequency = 32/day, on-line forwarding)",
       "Max", series);
 
+  // Row-major grid of sweep cells, submitted as one batch.
+  std::vector<experiments::EvalPoint> points;
+  for (int max : max_values) {
+    for (double uf : user_frequencies) {
+      experiments::EvalPoint point;
+      point.scenario = bench::paper_config();
+      point.scenario.user_frequency = uf;
+      point.scenario.max = max;
+      point.policy = core::PolicyConfig::online();
+      point.seeds = 2;
+      points.push_back(point);
+    }
+  }
+  const std::vector<experiments::Aggregate> aggregates =
+      runner.evaluate_many(points);
+
+  std::size_t cursor = 0;
   for (int max : max_values) {
     std::vector<double> row;
     row.reserve(user_frequencies.size());
-    for (double uf : user_frequencies) {
-      workload::ScenarioConfig config = bench::paper_config();
-      config.user_frequency = uf;
-      config.max = max;
-      row.push_back(bench::mean_waste(config, core::PolicyConfig::online(),
-                                      /*seeds=*/2));
+    for (std::size_t s = 0; s < user_frequencies.size(); ++s) {
+      row.push_back(aggregates[cursor++].waste_percent);
     }
     table.add_row(std::to_string(max), row);
   }
+  bench::report_sweep(runner);
 
   bench::emit(table,
               "waste ~ 100*(1 - uf*Max/32), clamped at 0: ~88% at uf=1,Max=4; "

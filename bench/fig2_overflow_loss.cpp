@@ -11,11 +11,13 @@
 
 using namespace waif;
 
-int main() {
+int main(int argc, char** argv) {
   const std::vector<double> user_frequencies = {0.25, 0.5, 1, 2,
                                                 4,    8,   16, 32, 64};
   const std::vector<double> outages = {0.0, 0.1, 0.2, 0.3, 0.4,  0.5,
                                        0.6, 0.7, 0.8, 0.9, 0.95, 1.0};
+  experiments::ParallelRunner runner(
+      bench::parse_jobs(argc, argv, "fig2 — loss due to overflow"));
 
   std::vector<std::string> series;
   series.reserve(user_frequencies.size());
@@ -27,19 +29,32 @@ int main() {
       "on-demand forwarding)",
       "outage", series);
 
+  std::vector<experiments::EvalPoint> points;
+  for (double outage : outages) {
+    for (double uf : user_frequencies) {
+      experiments::EvalPoint point;
+      point.scenario = bench::paper_config();
+      point.scenario.user_frequency = uf;
+      point.scenario.max = 8;
+      point.scenario.outage_fraction = outage;
+      point.policy = core::PolicyConfig::on_demand();
+      point.seeds = 2;
+      points.push_back(point);
+    }
+  }
+  const std::vector<experiments::Aggregate> aggregates =
+      runner.evaluate_many(points);
+
+  std::size_t cursor = 0;
   for (double outage : outages) {
     std::vector<double> row;
     row.reserve(user_frequencies.size());
-    for (double uf : user_frequencies) {
-      workload::ScenarioConfig config = bench::paper_config();
-      config.user_frequency = uf;
-      config.max = 8;
-      config.outage_fraction = outage;
-      row.push_back(bench::mean_loss(config, core::PolicyConfig::on_demand(),
-                                     /*seeds=*/2));
+    for (std::size_t s = 0; s < user_frequencies.size(); ++s) {
+      row.push_back(aggregates[cursor++].loss_percent);
     }
     table.add_row(bench::fmt("%.2f", outage), row);
   }
+  bench::report_sweep(runner);
 
   bench::emit(table,
               "loss grows with the outage fraction toward just below 100%, "

@@ -12,10 +12,12 @@
 
 using namespace waif;
 
-int main() {
+int main(int argc, char** argv) {
   const std::vector<double> outages = {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99};
   const std::vector<std::size_t> limits = {1,    4,    16,    64,   256,
                                            1024, 4096, 16384, 65536};
+  experiments::ParallelRunner runner(
+      bench::parse_jobs(argc, argv, "fig3 — buffer-based prefetching"));
 
   std::vector<std::string> series;
   series.reserve(outages.size());
@@ -33,22 +35,35 @@ int main() {
       "series per outage level",
       "limit", series);
 
+  std::vector<experiments::EvalPoint> points;
+  for (std::size_t limit : limits) {
+    for (double outage : outages) {
+      experiments::EvalPoint point;
+      point.scenario = bench::paper_config();
+      point.scenario.user_frequency = 2.0;
+      point.scenario.max = 8;
+      point.scenario.outage_fraction = outage;
+      point.policy = core::PolicyConfig::buffer(limit);
+      point.seeds = 2;
+      points.push_back(point);
+    }
+  }
+  const std::vector<experiments::Aggregate> aggregates =
+      runner.evaluate_many(points);
+
+  std::size_t cursor = 0;
   for (std::size_t limit : limits) {
     std::vector<double> loss_row;
     std::vector<double> waste_row;
-    for (double outage : outages) {
-      workload::ScenarioConfig config = bench::paper_config();
-      config.user_frequency = 2.0;
-      config.max = 8;
-      config.outage_fraction = outage;
-      const experiments::Aggregate aggregate = experiments::evaluate(
-          config, core::PolicyConfig::buffer(limit), /*seeds=*/2);
-      loss_row.push_back(aggregate.loss_percent);
-      waste_row.push_back(aggregate.waste_percent);
+    for (std::size_t s = 0; s < outages.size(); ++s) {
+      loss_row.push_back(aggregates[cursor].loss_percent);
+      waste_row.push_back(aggregates[cursor].waste_percent);
+      ++cursor;
     }
     loss_table.add_row(std::to_string(limit), loss_row);
     waste_table.add_row(std::to_string(limit), waste_row);
   }
+  bench::report_sweep(runner);
 
   bench::emit(loss_table,
               "loss falls from on-demand levels to ~0 by limit 16 (the "

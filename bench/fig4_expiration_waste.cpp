@@ -13,10 +13,12 @@
 
 using namespace waif;
 
-int main() {
+int main(int argc, char** argv) {
   const std::vector<double> user_frequencies = {1, 2, 4, 8, 16, 32, 64};
   const std::vector<double> expirations = {16,    64,    256,   1024,
                                            4096,  16384, 65536, 262144};
+  experiments::ParallelRunner runner(
+      bench::parse_jobs(argc, argv, "fig4 — waste due to expirations"));
 
   std::vector<std::string> series;
   series.reserve(user_frequencies.size());
@@ -28,19 +30,32 @@ int main() {
       "Max = infinity, on-line forwarding, exponential lifetimes)",
       "exp(s)", series);
 
+  std::vector<experiments::EvalPoint> points;
+  for (double expiration : expirations) {
+    for (double uf : user_frequencies) {
+      experiments::EvalPoint point;
+      point.scenario = bench::paper_config();
+      point.scenario.user_frequency = uf;
+      point.scenario.max = pubsub::kUnlimitedMax;  // "Max = infinity" (S3.3)
+      point.scenario.mean_expiration = seconds(expiration);
+      point.policy = core::PolicyConfig::online();
+      point.seeds = 2;
+      points.push_back(point);
+    }
+  }
+  const std::vector<experiments::Aggregate> aggregates =
+      runner.evaluate_many(points);
+
+  std::size_t cursor = 0;
   for (double expiration : expirations) {
     std::vector<double> row;
     row.reserve(user_frequencies.size());
-    for (double uf : user_frequencies) {
-      workload::ScenarioConfig config = bench::paper_config();
-      config.user_frequency = uf;
-      config.max = pubsub::kUnlimitedMax;  // "Max = infinity" (Section 3.3)
-      config.mean_expiration = seconds(expiration);
-      row.push_back(bench::mean_waste(config, core::PolicyConfig::online(),
-                                      /*seeds=*/2));
+    for (std::size_t s = 0; s < user_frequencies.size(); ++s) {
+      row.push_back(aggregates[cursor++].waste_percent);
     }
     table.add_row(bench::fmt("%.0f", expiration), row);
   }
+  bench::report_sweep(runner);
 
   bench::emit(table,
               "near-100% waste for lifetimes far below the interval between "

@@ -15,7 +15,9 @@
 
 using namespace waif;
 
-int main() {
+int main(int argc, char** argv) {
+  experiments::ParallelRunner runner(
+      bench::parse_jobs(argc, argv, "fig5 — loss due to expirations"));
   const std::vector<double> user_frequencies = {1, 2, 4, 8, 16, 32, 64};
   const std::vector<double> expirations = {16,   64,    256,   1024,
                                            4096, 16384, 65536, 262144};
@@ -30,20 +32,33 @@ int main() {
       "infinity, network down 95% of the time, pure on-demand)",
       "exp(s)", series);
 
+  std::vector<experiments::EvalPoint> points;
+  for (double expiration : expirations) {
+    for (double uf : user_frequencies) {
+      experiments::EvalPoint point;
+      point.scenario = bench::paper_config();
+      point.scenario.user_frequency = uf;
+      point.scenario.max = pubsub::kUnlimitedMax;
+      point.scenario.mean_expiration = seconds(expiration);
+      point.scenario.outage_fraction = 0.95;
+      point.policy = core::PolicyConfig::on_demand();
+      point.seeds = 2;
+      points.push_back(point);
+    }
+  }
+  const std::vector<experiments::Aggregate> aggregates =
+      runner.evaluate_many(points);
+
+  std::size_t cursor = 0;
   for (double expiration : expirations) {
     std::vector<double> row;
     row.reserve(user_frequencies.size());
-    for (double uf : user_frequencies) {
-      workload::ScenarioConfig config = bench::paper_config();
-      config.user_frequency = uf;
-      config.max = pubsub::kUnlimitedMax;
-      config.mean_expiration = seconds(expiration);
-      config.outage_fraction = 0.95;
-      row.push_back(bench::mean_loss(config, core::PolicyConfig::on_demand(),
-                                     /*seeds=*/2));
+    for (std::size_t s = 0; s < user_frequencies.size(); ++s) {
+      row.push_back(aggregates[cursor++].loss_percent);
     }
     table.add_row(bench::fmt("%.0f", expiration), row);
   }
+  bench::report_sweep(runner);
 
   bench::emit(table,
               "a hump: low loss at very short lifetimes, peak when lifetimes "

@@ -17,7 +17,9 @@
 
 using namespace waif;
 
-int main() {
+int main(int argc, char** argv) {
+  experiments::ParallelRunner runner(bench::parse_jobs(
+      argc, argv, "fig6 — prefetch expiration threshold sweep"));
   // The paper's five expiration intervals (seconds).
   const std::vector<double> expirations = {15360, 245760, 491520, 983040,
                                            3932160};
@@ -41,27 +43,39 @@ int main() {
       "expiration threshold (seconds)",
       "thr(s)", series);
 
+  std::vector<experiments::EvalPoint> points;
+  for (double threshold : thresholds) {
+    for (double expiration : expirations) {
+      experiments::EvalPoint point;
+      point.scenario = bench::paper_config();
+      point.scenario.user_frequency = 2.0;
+      point.scenario.max = pubsub::kUnlimitedMax;
+      point.scenario.mean_expiration = seconds(expiration);
+      point.scenario.outage_fraction = 0.9;
+      point.policy =
+          core::PolicyConfig::buffer(/*limit=*/64,
+                                     /*expiration_threshold=*/
+                                     seconds(threshold));
+      point.seeds = 2;
+      points.push_back(point);
+    }
+  }
+  const std::vector<experiments::Aggregate> aggregates =
+      runner.evaluate_many(points);
+
+  std::size_t cursor = 0;
   for (double threshold : thresholds) {
     std::vector<double> waste_row;
     std::vector<double> loss_row;
-    for (double expiration : expirations) {
-      workload::ScenarioConfig config = bench::paper_config();
-      config.user_frequency = 2.0;
-      config.max = pubsub::kUnlimitedMax;
-      config.mean_expiration = seconds(expiration);
-      config.outage_fraction = 0.9;
-      const experiments::Aggregate aggregate = experiments::evaluate(
-          config,
-          core::PolicyConfig::buffer(/*limit=*/64,
-                                     /*expiration_threshold=*/
-                                     seconds(threshold)),
-          /*seeds=*/2);
-      waste_row.push_back(aggregate.waste_percent);
-      loss_row.push_back(aggregate.loss_percent);
+    for (std::size_t s = 0; s < expirations.size(); ++s) {
+      waste_row.push_back(aggregates[cursor].waste_percent);
+      loss_row.push_back(aggregates[cursor].loss_percent);
+      ++cursor;
     }
     waste_table.add_row(bench::fmt("%.0f", threshold), waste_row);
     loss_table.add_row(bench::fmt("%.0f", threshold), loss_row);
   }
+  bench::report_sweep(runner);
 
   bench::emit(waste_table,
               "each curve starts high (short thresholds admit soon-expiring "

@@ -65,7 +65,7 @@ double run_fan_out(std::size_t proxies) {
   workload::ScenarioConfig scenario;
   scenario.horizon = kDay;
   scenario.event_frequency = 512.0;  // a busy day
-  Rng rng(1);
+  Rng rng = experiments::job_rng(/*sweep_seed=*/1, proxies);
   const auto arrivals = workload::generate_arrivals(scenario, rng);
   for (const auto& arrival : arrivals) {
     sim.schedule_at(arrival.time, [&publisher, arrival] {
@@ -100,7 +100,7 @@ double run_many_topics(std::size_t topics) {
     node.proxy->add_topic(topic, config);
     broker.subscribe(topic, *node.proxy, config.options);
     publisher.advertise(topic);
-    Rng rng(t + 1);
+    Rng rng = experiments::job_rng(/*sweep_seed=*/1, t);
     for (const auto& arrival : workload::generate_arrivals(scenario, rng)) {
       ++deliveries;
       sim.schedule_at(arrival.time, [&publisher, topic, arrival] {
@@ -119,13 +119,23 @@ double run_many_topics(std::size_t topics) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Default to one worker: each job measures wall-clock throughput, so
+  // concurrent jobs would contend for cores and depress every number.
+  // --jobs>1 still works for a quick sweep where absolute rates matter less.
+  experiments::ParallelRunner runner(bench::parse_jobs(
+      argc, argv, "proxy scalability sweeps", /*default_jobs=*/1));
+
   metrics::Table fan_out(
       "Proxy scalability — one hot topic (512 events/day) fanned out to N "
       "proxies+devices,\none simulated day; higher is better",
       "proxies", {"deliveries/sec"});
-  for (std::size_t proxies : {1u, 10u, 100u, 1000u}) {
-    fan_out.add_row(std::to_string(proxies), {run_fan_out(proxies)});
+  const std::vector<std::size_t> fan_out_sizes = {1, 10, 100, 1000};
+  const std::vector<double> fan_out_rates = runner.map(
+      fan_out_sizes.size(),
+      [&fan_out_sizes](std::size_t i) { return run_fan_out(fan_out_sizes[i]); });
+  for (std::size_t i = 0; i < fan_out_sizes.size(); ++i) {
+    fan_out.add_row(std::to_string(fan_out_sizes[i]), {fan_out_rates[i]});
   }
   fan_out.set_precision(0);
   bench::emit(fan_out,
@@ -137,10 +147,15 @@ int main() {
       "Proxy scalability — one proxy managing T topics (32 events/day each), "
       "one device, one simulated day",
       "topics", {"deliveries/sec"});
-  for (std::size_t topics : {1u, 16u, 128u, 1024u}) {
-    many_topics.add_row(std::to_string(topics), {run_many_topics(topics)});
+  const std::vector<std::size_t> topic_counts = {1, 16, 128, 1024};
+  const std::vector<double> topic_rates = runner.map(
+      topic_counts.size(),
+      [&topic_counts](std::size_t i) { return run_many_topics(topic_counts[i]); });
+  for (std::size_t i = 0; i < topic_counts.size(); ++i) {
+    many_topics.add_row(std::to_string(topic_counts[i]), {topic_rates[i]});
   }
   many_topics.set_precision(0);
+  bench::report_sweep(runner);
   bench::emit(many_topics,
               "per-topic state is independent; throughput per delivery is "
               "flat in the number of topics (hash-map dispatch).");

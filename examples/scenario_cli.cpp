@@ -14,6 +14,7 @@
 
 #include "common/flags.h"
 #include "core/forwarding_policy.h"
+#include "experiments/parallel_runner.h"
 #include "experiments/runner.h"
 #include "workload/scenario.h"
 #include "workload/serialization.h"
@@ -60,6 +61,10 @@ int main(int argc, char** argv) {
                      "rank-change delay stage before events become "
                      "prefetchable");
   flags.add_int("seeds", &seeds, "number of random seeds to average over");
+  std::int64_t jobs = 0;
+  flags.add_int("jobs", &jobs,
+                "worker threads for the seed sweep (0 = all hardware "
+                "threads); results are identical at any value");
   std::string config_file;
   std::string save_trace;
   flags.add_string("config", &config_file,
@@ -116,8 +121,13 @@ int main(int argc, char** argv) {
               format_duration(scenario.horizon).c_str());
   std::printf("policy:   %s\n\n", to_string(policy.kind).c_str());
 
-  const experiments::Aggregate aggregate = experiments::evaluate(
-      scenario, policy, static_cast<std::uint64_t>(seeds));
+  if (jobs < 0) {
+    std::fprintf(stderr, "--jobs must be >= 0\n");
+    return 1;
+  }
+  experiments::ParallelRunner runner(static_cast<std::size_t>(jobs));
+  const experiments::Aggregate aggregate =
+      runner.evaluate(scenario, policy, static_cast<std::uint64_t>(seeds));
   std::printf("over %llu seed(s):\n",
               static_cast<unsigned long long>(aggregate.seeds));
   std::printf("  waste  %6.2f %%  (stddev %.2f)\n", aggregate.waste_percent,

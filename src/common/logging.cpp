@@ -1,12 +1,22 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace waif {
 
 namespace {
 
-LogLevel g_level = LogLevel::kOff;
+// Relaxed ordering suffices: the level is a filter, not a synchronization
+// point — a worker observing a stale level for a few calls only changes
+// which lines appear, never their integrity.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+// Serializes writes so concurrent sweep workers cannot interleave torn
+// lines. One fprintf is usually atomic for short lines, but POSIX only
+// guarantees that for pipes below PIPE_BUF; the mutex makes it a contract.
+std::mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,18 +31,21 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 bool log_enabled(LogLevel level) {
-  return static_cast<int>(level) <= static_cast<int>(g_level) &&
+  return static_cast<int>(level) <= static_cast<int>(log_level()) &&
          level != LogLevel::kOff;
 }
 
 void log_message(LogLevel level, SimTime when, const std::string& component,
                  const std::string& message) {
   if (!log_enabled(level)) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (when >= 0) {
     std::fprintf(stderr, "[%s t=%s] %s: %s\n", level_name(level),
                  format_duration(when).c_str(), component.c_str(),

@@ -14,8 +14,10 @@ namespace waif {
 
 enum class LogLevel : std::uint8_t { kOff = 0, kError, kWarn, kInfo, kDebug };
 
-/// Sets the global log level. Not thread-safe by design: the simulator is
-/// single-threaded and the level is set once at startup.
+/// Sets the global log level. Thread-safe: the level is an atomic and
+/// concurrent log_message() calls are serialized, so parallel sweep workers
+/// (experiments::ParallelRunner) can log without tearing lines. Each
+/// simulator is still single-threaded; only the logging sink is shared.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

@@ -1,0 +1,122 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace waif {
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return std::max(1u, reported);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    // Queued tasks still run: shutdown is a drain, not a discard. Workers
+    // only exit once stopping_ is set AND every queue is empty.
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(Task task) {
+  WAIF_CHECK(task != nullptr);
+  std::size_t target;
+  {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    WAIF_CHECK(!stopping_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+  }
+  {
+    std::unique_lock<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& task) {
+  {
+    Worker& own = *queues_[self];
+    std::unique_lock<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of a sibling's deque, scanning from the next index
+  // so contention spreads instead of piling on worker 0.
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    Worker& victim = *queues_[(self + offset) % queues_.size()];
+    std::unique_lock<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    Task task;
+    if (!try_pop(self, task)) {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      if (pending_ == 0 && stopping_) return;
+      // pending_ > 0 covers tasks either queued or mid-execution elsewhere;
+      // re-check the queues after any submit or completion.
+      wake_.wait(lock, [this, self, &task] {
+        return (stopping_ && pending_ == 0) || try_pop(self, task);
+      });
+      if (task == nullptr) return;  // woke to stop, queues drained
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      --pending_;
+      if (pending_ == 0) {
+        idle_.notify_all();
+        if (stopping_) wake_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(error_mutex_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace waif

@@ -1,0 +1,108 @@
+// A work-stealing thread pool for embarrassingly parallel sweeps.
+//
+// Each worker owns a deque of tasks; submit() distributes round-robin, a
+// worker pops from the front of its own deque and, when empty, steals from
+// the back of a sibling's. The pool is a plumbing layer only: it makes no
+// determinism promises by itself — callers that need reproducible results
+// (experiments::ParallelRunner) must keep each job independent and collect
+// results by submission index, never by completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace waif {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers; 0 selects hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains every queued task, then joins the workers. Errors captured from
+  /// plain submit() tasks are discarded (destructors must not throw).
+  ~ThreadPool();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues one task. If the task throws, the first such exception is
+  /// captured and rethrown by the next wait_idle() call.
+  void submit(Task task);
+
+  /// Enqueues a callable and returns a future for its result; an exception
+  /// thrown by the callable propagates through the future instead of
+  /// wait_idle().
+  template <typename Fn>
+  auto async(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using Result = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    std::future<Result> future = task->get_future();
+    submit([task] { (*task)(); });
+    return future;
+  }
+
+  /// Blocks until every submitted task has finished, then rethrows the first
+  /// exception captured from a plain submit() task (if any).
+  void wait_idle();
+
+  /// The number of workers a default-constructed pool would spawn.
+  static std::size_t hardware_threads();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, Task& task);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::size_t pending_ = 0;      // submitted but not yet finished
+  std::size_t next_queue_ = 0;   // round-robin submission cursor
+  bool stopping_ = false;
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(0) .. fn(count-1) on the pool and blocks until all complete.
+/// The first exception thrown by any invocation is rethrown to the caller.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t count, Fn&& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    futures.push_back(pool.async([&fn, i] { fn(i); }));
+  }
+  std::exception_ptr error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace waif

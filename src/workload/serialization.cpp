@@ -1,6 +1,7 @@
 #include "workload/serialization.h"
 
 #include <algorithm>
+#include <bit>
 #include <functional>
 #include <istream>
 #include <limits>
@@ -210,6 +211,55 @@ ScenarioConfig read_scenario(std::istream& in) {
     if (fields.fail()) fail(line_number, "bad value for '" + key + "'");
   }
   return config;
+}
+
+void CanonicalDigest::u64(std::uint64_t value) {
+  // FNV-1a over the value's little-endian bytes.
+  for (int byte = 0; byte < 8; ++byte) {
+    hash_ ^= (value >> (8 * byte)) & 0xFFu;
+    hash_ *= 1099511628211ull;  // FNV-1a 64-bit prime
+  }
+}
+
+void CanonicalDigest::i64(std::int64_t value) {
+  u64(static_cast<std::uint64_t>(value));
+}
+
+void CanonicalDigest::f64(double value) {
+  u64(std::bit_cast<std::uint64_t>(value));
+}
+
+void CanonicalDigest::str(std::string_view text) {
+  u64(text.size());
+  for (char c : text) {
+    hash_ ^= static_cast<unsigned char>(c);
+    hash_ *= 1099511628211ull;
+  }
+}
+
+std::uint64_t digest_trace(const Trace& trace) {
+  CanonicalDigest digest;
+  digest.i64(trace.horizon);
+  digest.u64(trace.arrivals.size());
+  for (const Arrival& arrival : trace.arrivals) {
+    digest.i64(arrival.time);
+    digest.f64(arrival.rank);
+    digest.i64(arrival.lifetime);
+  }
+  digest.u64(trace.reads.size());
+  for (SimTime read : trace.reads) digest.i64(read);
+  digest.u64(trace.outages.outages().size());
+  for (const net::Outage& outage : trace.outages.outages()) {
+    digest.i64(outage.start);
+    digest.i64(outage.end);
+  }
+  digest.u64(trace.rank_changes.size());
+  for (const RankChange& change : trace.rank_changes) {
+    digest.i64(change.time);
+    digest.u64(change.arrival_index);
+    digest.f64(change.new_rank);
+  }
+  return digest.value();
 }
 
 }  // namespace waif::workload

@@ -14,8 +14,10 @@
 //   rankchange <time> <arrival-index> <new-rank>
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "workload/scenario.h"
 #include "workload/trace.h"
@@ -35,5 +37,32 @@ void write_scenario(std::ostream& out, const ScenarioConfig& config);
 /// Parses a scenario written by write_scenario (unknown keys are errors,
 /// missing keys keep their defaults). Durations are in microseconds.
 ScenarioConfig read_scenario(std::istream& in);
+
+/// Canonical byte encoding folded into a 64-bit FNV-1a digest.
+///
+/// The encoding is platform-independent by construction: integers feed the
+/// hash little-endian byte by byte, doubles feed their IEEE-754 bit pattern
+/// (so 0.1 + 0.2 and 0.3 digest differently — "close enough" is exactly what
+/// a determinism check must reject), strings are length-prefixed. Callers
+/// define a fixed field order and sort any unordered containers; equal
+/// digests then certify byte-identical values. Used by the parallel sweep
+/// executor to compare parallel results against sequential ones.
+class CanonicalDigest {
+ public:
+  void u64(std::uint64_t value);
+  void i64(std::int64_t value);
+  void f64(double value);
+  void str(std::string_view text);
+
+  /// The digest of everything fed so far.
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;  // FNV-1a offset basis
+};
+
+/// Digest of a trace's full event content (arrivals, reads, outages, rank
+/// changes, horizon) — pins a generated workload across platforms.
+std::uint64_t digest_trace(const Trace& trace);
 
 }  // namespace waif::workload

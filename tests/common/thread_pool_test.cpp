@@ -1,0 +1,151 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace waif {
+namespace {
+
+TEST(ThreadPoolTest, ReportsRequestedThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroSelectsHardwareThreads) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::hardware_threads());
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskUnderContention) {
+  // Many more tasks than threads, all touching one counter: every task must
+  // run exactly once regardless of which worker steals it.
+  ThreadPool pool(4);
+  constexpr int kTasks = 2000;
+  std::atomic<int> executed{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&executed] { executed.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, TasksRunOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  // Slow tasks so one worker cannot drain the queue alone.
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&mutex, &seen] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      std::lock_guard<std::mutex> lock(mutex);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  // On a single-core host the scheduler may still serialize onto one
+  // thread; require only that nothing crashed and all tasks ran.
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_LE(seen.size(), 4u);
+}
+
+TEST(ThreadPoolTest, AsyncReturnsResults) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.async([i] { return i * i; }));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.async(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitExceptionRethrownByWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("plain task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  // The error is consumed: the pool is reusable afterwards.
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 16,
+                            [](std::size_t i) {
+                              if (i % 5 == 0) {
+                                throw std::runtime_error("bad index");
+                              }
+                            }),
+               std::runtime_error);
+  // Pool survives: the non-throwing iterations completed.
+  std::atomic<int> count{0};
+  parallel_for(pool, 8, [&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  // Destroy the pool while work is still queued behind slow tasks; shutdown
+  // must complete every task, not discard the backlog.
+  std::atomic<int> executed{0};
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        executed.fetch_add(1);
+      });
+    }
+    // No wait_idle(): the destructor must drain.
+  }
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerThread) {
+  // A task submitting follow-up work must not deadlock.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.submit([&pool, &total] {
+    total.fetch_add(1);
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([&total] { total.fetch_add(1); });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 5);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndicesOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(),
+               [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+}  // namespace
+}  // namespace waif

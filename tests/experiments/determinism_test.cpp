@@ -1,0 +1,146 @@
+// Differential determinism: a representative fig3/fig6-style sweep run
+// sequentially and through ParallelRunner must agree BIT FOR BIT — the
+// paper's waste/loss methodology compares a policy against its on-line
+// baseline over identical traces, so "approximately equal" parallel results
+// would silently change every figure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "experiments/parallel_runner.h"
+#include "experiments/runner.h"
+#include "workload/serialization.h"
+#include "workload/trace.h"
+
+namespace waif::experiments {
+namespace {
+
+using core::PolicyConfig;
+using workload::ScenarioConfig;
+
+ScenarioConfig fig_config() {
+  // Figure 3's fixed parameters (event frequency 32/day, Max 8, user
+  // frequency 2/day), scaled to 30 virtual days for test speed.
+  ScenarioConfig config;
+  config.event_frequency = 32.0;
+  config.user_frequency = 2.0;
+  config.max = 8;
+  config.horizon = 30 * kDay;
+  return config;
+}
+
+/// A miniature Figure 3 grid: prefetch limit x outage level, buffer policy.
+std::vector<EvalPoint> fig3_grid() {
+  std::vector<EvalPoint> points;
+  for (std::size_t limit : {1u, 16u, 256u}) {
+    for (double outage : {0.1, 0.5, 0.9}) {
+      EvalPoint point;
+      point.scenario = fig_config();
+      point.scenario.outage_fraction = outage;
+      point.policy = PolicyConfig::buffer(limit);
+      point.seeds = 2;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+TEST(DifferentialDeterminismTest, Fig3SweepBitIdenticalToSequential) {
+  const std::vector<EvalPoint> points = fig3_grid();
+
+  // Sequential reference: the plain evaluate() loop the fig binaries used
+  // before the parallel executor existed.
+  std::vector<Aggregate> sequential;
+  for (const EvalPoint& point : points) {
+    sequential.push_back(evaluate(point.scenario, point.policy, point.seeds,
+                                  point.first_seed, point.device));
+  }
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ParallelRunner runner(threads);
+    const std::vector<Aggregate> parallel = runner.evaluate_many(points);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      // EXPECT_EQ on doubles: bit-identical, not approximately equal.
+      EXPECT_EQ(parallel[i].waste_percent, sequential[i].waste_percent)
+          << "threads=" << threads << " point=" << i;
+      EXPECT_EQ(parallel[i].loss_percent, sequential[i].loss_percent)
+          << "threads=" << threads << " point=" << i;
+      EXPECT_EQ(parallel[i].waste_stddev, sequential[i].waste_stddev);
+      EXPECT_EQ(parallel[i].loss_stddev, sequential[i].loss_stddev);
+    }
+    EXPECT_EQ(digest(parallel), digest(sequential));
+  }
+}
+
+TEST(DifferentialDeterminismTest, Fig6StyleExpirationSweepBitIdentical) {
+  // Figure 6's regime: expirations + 90% outage + expiration-threshold
+  // buffer policy, the most state-heavy code path (expiry timers, holding
+  // queue, rank comparisons). Full per-run digests, not just the headline
+  // percentages: every counter in RunOutcome must match.
+  std::vector<SweepPoint> points;
+  for (double expiration : {15360.0, 491520.0}) {
+    for (double threshold : {1024.0, 65536.0}) {
+      SweepPoint point;
+      point.scenario = fig_config();
+      point.scenario.mean_expiration = seconds(expiration);
+      point.scenario.outage_fraction = 0.9;
+      point.policy = PolicyConfig::buffer(64, seconds(threshold));
+      point.seed = 3;
+      points.push_back(point);
+    }
+  }
+
+  std::vector<Comparison> sequential;
+  for (const SweepPoint& point : points) {
+    sequential.push_back(
+        compare_policies(point.scenario, point.policy, point.seed,
+                         point.device));
+  }
+
+  for (std::size_t threads : {2u, 8u}) {
+    ParallelRunner runner(threads);
+    const std::vector<Comparison> parallel = runner.compare(points);
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      EXPECT_EQ(digest(parallel[i]), digest(sequential[i]))
+          << "threads=" << threads << " point=" << i;
+      EXPECT_EQ(parallel[i].waste_percent, sequential[i].waste_percent);
+      EXPECT_EQ(parallel[i].loss_percent, sequential[i].loss_percent);
+      EXPECT_EQ(parallel[i].raw_loss_percent, sequential[i].raw_loss_percent);
+      EXPECT_EQ(parallel[i].policy.read_ids, sequential[i].policy.read_ids);
+    }
+  }
+}
+
+TEST(DifferentialDeterminismTest, TraceGenerationUnaffectedByThreading) {
+  // The trace is the randomness; digest it directly on top of the outcome
+  // checks so a regression pinpoints whether generation or replay diverged.
+  ScenarioConfig config = fig_config();
+  config.outage_fraction = 0.5;
+  config.mean_expiration = hours(6.0);
+  const std::uint64_t reference =
+      workload::digest_trace(workload::generate_trace(config, 11));
+
+  ParallelRunner runner(8);
+  const std::vector<std::uint64_t> digests =
+      runner.map(16, [&config](std::size_t) {
+        return workload::digest_trace(workload::generate_trace(config, 11));
+      });
+  for (std::uint64_t value : digests) EXPECT_EQ(value, reference);
+}
+
+TEST(DifferentialDeterminismTest, RepeatedParallelSweepsAgree) {
+  // Same sweep, same runner thread count, run twice: digests must match —
+  // catches any hidden shared state between jobs (id counters, caches).
+  const std::vector<EvalPoint> points = fig3_grid();
+  ParallelRunner runner(4);
+  const std::uint64_t first = digest(runner.evaluate_many(points));
+  const std::uint64_t second = digest(runner.evaluate_many(points));
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace waif::experiments

@@ -1,0 +1,169 @@
+// ParallelRunner contract tests: identical digests at every thread count,
+// submission-order results, degenerate sweeps, and more jobs than threads.
+#include "experiments/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace waif::experiments {
+namespace {
+
+using core::PolicyConfig;
+using workload::ScenarioConfig;
+
+ScenarioConfig quick_config() {
+  ScenarioConfig config;
+  config.horizon = 30 * kDay;  // scaled down for test speed
+  config.event_frequency = 32.0;
+  config.user_frequency = 2.0;
+  config.max = 8;
+  return config;
+}
+
+std::vector<SweepPoint> sample_sweep() {
+  std::vector<SweepPoint> points;
+  for (double outage : {0.0, 0.3, 0.9}) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      SweepPoint point;
+      point.scenario = quick_config();
+      point.scenario.outage_fraction = outage;
+      point.policy = PolicyConfig::buffer(16);
+      point.seed = seed;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+TEST(ParallelRunnerTest, SameSeedSameDigestAtOneTwoAndEightThreads) {
+  const std::vector<SweepPoint> points = sample_sweep();
+  ParallelRunner one(1);
+  ParallelRunner two(2);
+  ParallelRunner eight(8);
+  const std::uint64_t digest_one = digest(one.compare(points));
+  const std::uint64_t digest_two = digest(two.compare(points));
+  const std::uint64_t digest_eight = digest(eight.compare(points));
+  EXPECT_EQ(digest_one, digest_two);
+  EXPECT_EQ(digest_one, digest_eight);
+}
+
+TEST(ParallelRunnerTest, ResultsArriveInSubmissionOrder) {
+  // Jobs with very different costs (long vs short horizon) so completion
+  // order differs from submission order; each outcome must still sit at its
+  // submission index. Arrival counts scale with the horizon, which lets us
+  // identify which job produced which outcome.
+  std::vector<SweepPoint> points;
+  for (int days : {40, 2, 30, 1, 20, 3}) {
+    SweepPoint point;
+    point.scenario = quick_config();
+    point.scenario.horizon = days * kDay;
+    point.policy = PolicyConfig::online();
+    point.seed = 7;
+    points.push_back(point);
+  }
+  ParallelRunner runner(4);
+  const std::vector<RunOutcome> outcomes = runner.run(points);
+  ASSERT_EQ(outcomes.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const workload::Trace trace =
+        workload::generate_trace(points[i].scenario, points[i].seed);
+    EXPECT_EQ(outcomes[i].published.size(), trace.arrivals.size())
+        << "outcome at index " << i << " does not match its submission";
+  }
+}
+
+TEST(ParallelRunnerTest, EmptySweep) {
+  ParallelRunner runner(4);
+  EXPECT_TRUE(runner.compare({}).empty());
+  EXPECT_TRUE(runner.run({}).empty());
+  EXPECT_TRUE(runner.evaluate_many({}).empty());
+  EXPECT_EQ(runner.last_stats().jobs, 0u);
+}
+
+TEST(ParallelRunnerTest, ManyMoreJobsThanThreads) {
+  // 24 jobs on 2 threads: the queue must drain fully and keep order.
+  std::vector<SweepPoint> points;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    SweepPoint point;
+    point.scenario = quick_config();
+    point.scenario.horizon = 5 * kDay;
+    point.policy = PolicyConfig::on_demand();
+    point.seed = seed;
+    points.push_back(point);
+  }
+  ParallelRunner runner(2);
+  const std::vector<Comparison> parallel = runner.compare(points);
+  ASSERT_EQ(parallel.size(), points.size());
+  EXPECT_EQ(runner.last_stats().jobs, points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Comparison sequential = compare_policies(
+        points[i].scenario, points[i].policy, points[i].seed, points[i].device);
+    EXPECT_EQ(digest(parallel[i]), digest(sequential)) << "job " << i;
+  }
+}
+
+TEST(ParallelRunnerTest, EvaluateMatchesSequentialEvaluateBitwise) {
+  ScenarioConfig config = quick_config();
+  config.outage_fraction = 0.5;
+  const PolicyConfig policy = PolicyConfig::buffer(16);
+  const Aggregate sequential = evaluate(config, policy, /*seeds=*/3);
+  ParallelRunner runner(4);
+  const Aggregate parallel = runner.evaluate(config, policy, /*seeds=*/3);
+  EXPECT_EQ(digest({parallel}), digest({sequential}));
+  EXPECT_EQ(parallel.waste_percent, sequential.waste_percent);
+  EXPECT_EQ(parallel.loss_percent, sequential.loss_percent);
+  EXPECT_EQ(parallel.waste_stddev, sequential.waste_stddev);
+  EXPECT_EQ(parallel.loss_stddev, sequential.loss_stddev);
+}
+
+TEST(ParallelRunnerTest, MapReturnsIndexedResults) {
+  ParallelRunner runner(4);
+  const std::vector<std::uint64_t> values =
+      runner.map(100, [](std::size_t i) { return std::uint64_t{i} * 3; });
+  ASSERT_EQ(values.size(), 100u);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], i * 3);
+  }
+  EXPECT_EQ(runner.last_stats().jobs, 100u);
+  EXPECT_EQ(runner.last_stats().threads, 4u);
+}
+
+TEST(ParallelRunnerTest, StatsAccountWallAndTaskTime) {
+  ParallelRunner runner(2);
+  runner.compare(sample_sweep());
+  const SweepStats& stats = runner.last_stats();
+  EXPECT_EQ(stats.jobs, 6u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.task_seconds, 0.0);
+  EXPECT_GT(stats.speedup(), 0.0);
+}
+
+TEST(ParallelRunnerTest, JobRngSubstreamsDiffer) {
+  Rng a = job_rng(1, 0);
+  Rng b = job_rng(1, 1);
+  Rng c = job_rng(2, 0);
+  Rng a_again = job_rng(1, 0);
+  EXPECT_NE(a(), b());
+  EXPECT_NE(job_rng(1, 0)(), c());
+  EXPECT_EQ(job_rng(1, 0)(), a_again());
+}
+
+TEST(ParallelRunnerTest, DigestDistinguishesDifferentSeeds) {
+  SweepPoint point;
+  point.scenario = quick_config();
+  point.scenario.horizon = 10 * kDay;
+  point.policy = PolicyConfig::buffer(16);
+  point.seed = 1;
+  SweepPoint other = point;
+  other.seed = 2;
+  ParallelRunner runner(2);
+  const std::vector<Comparison> results = runner.compare({point, other});
+  EXPECT_NE(digest(results[0]), digest(results[1]));
+}
+
+}  // namespace
+}  // namespace waif::experiments

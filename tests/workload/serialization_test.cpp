@@ -159,6 +159,57 @@ TEST(ScenarioSerializationTest, BadValueRejected) {
   EXPECT_THROW(read_scenario(in), std::invalid_argument);
 }
 
+TEST(CanonicalDigestTest, FieldOrderAndTypeMatter) {
+  CanonicalDigest a;
+  a.u64(1);
+  a.u64(2);
+  CanonicalDigest b;
+  b.u64(2);
+  b.u64(1);
+  EXPECT_NE(a.value(), b.value());
+
+  // Doubles digest their IEEE-754 bit pattern: +0.0 and -0.0 differ.
+  CanonicalDigest positive_zero;
+  positive_zero.f64(0.0);
+  CanonicalDigest negative_zero;
+  negative_zero.f64(-0.0);
+  EXPECT_NE(positive_zero.value(), negative_zero.value());
+}
+
+TEST(CanonicalDigestTest, StringsAreLengthPrefixed) {
+  // ("ab", "c") and ("a", "bc") must not collide.
+  CanonicalDigest a;
+  a.str("ab");
+  a.str("c");
+  CanonicalDigest b;
+  b.str("a");
+  b.str("bc");
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(CanonicalDigestTest, RejectsNearlyEqualDoubles) {
+  CanonicalDigest a;
+  a.f64(0.1 + 0.2);
+  CanonicalDigest b;
+  b.f64(0.3);
+  EXPECT_NE(a.value(), b.value());  // bit patterns differ; "close" is not equal
+}
+
+TEST(TraceDigestTest, StableAcrossRegenerationAndRoundTrip) {
+  ScenarioConfig config;
+  config.horizon = 20 * kDay;
+  config.outage_fraction = 0.4;
+  config.rank_drop_fraction = 0.2;
+  const Trace trace = generate_trace(config, 5);
+  EXPECT_EQ(digest_trace(trace), digest_trace(generate_trace(config, 5)));
+  EXPECT_NE(digest_trace(trace), digest_trace(generate_trace(config, 6)));
+
+  // Serialization round-trip preserves the digest (events re-sorted on load).
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  EXPECT_EQ(digest_trace(read_trace(buffer)), digest_trace(trace));
+}
+
 TEST(ScenarioSerializationTest, LoadedScenarioDrivesIdenticalTrace) {
   ScenarioConfig original;
   original.horizon = 20 * kDay;
