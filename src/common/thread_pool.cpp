@@ -7,6 +7,13 @@
 
 namespace waif {
 
+namespace {
+// True on threads owned by a pool's worker_loop. Lets submit() distinguish a
+// drained task enqueueing follow-up work (legal during shutdown) from an
+// external thread submitting into a pool that is being destroyed (a bug).
+thread_local bool t_in_worker = false;
+}  // namespace
+
 std::size_t ThreadPool::hardware_threads() {
   const unsigned reported = std::thread::hardware_concurrency();
   return std::max(1u, reported);
@@ -37,16 +44,21 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(Task task) {
   WAIF_CHECK(task != nullptr);
-  std::size_t target;
   {
     std::unique_lock<std::mutex> lock(wake_mutex_);
-    WAIF_CHECK(!stopping_);
-    target = next_queue_;
+    // Worker threads may submit follow-up work even while the destructor is
+    // draining; such tasks still run before shutdown completes because
+    // pending_ stays nonzero. Submission from any other thread after the
+    // destructor has started is a use-after-free in the making, so fail loud.
+    WAIF_CHECK(!stopping_ || t_in_worker);
+    const std::size_t target = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++pending_;
-  }
-  {
-    std::unique_lock<std::mutex> lock(queues_[target]->mutex);
+    // Push while holding wake_mutex_ (queue lock nested inside, matching the
+    // order in the wait predicate below): a waiter evaluating its predicate
+    // under wake_mutex_ either sees this task or blocks before we get here,
+    // so the notify cannot fall into its predicate-to-block window.
+    std::unique_lock<std::mutex> queue_lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
   }
   wake_.notify_one();
@@ -77,6 +89,7 @@ bool ThreadPool::try_pop(std::size_t self, Task& task) {
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
+  t_in_worker = true;
   for (;;) {
     Task task;
     if (!try_pop(self, task)) {

@@ -39,7 +39,11 @@ class ThreadPool {
   std::size_t thread_count() const { return workers_.size(); }
 
   /// Enqueues one task. If the task throws, the first such exception is
-  /// captured and rethrown by the next wait_idle() call.
+  /// captured and rethrown by the next wait_idle() call. A running task may
+  /// submit follow-up work at any time — including while the destructor is
+  /// draining, in which case the follow-up still runs before shutdown
+  /// completes. Submitting from a non-worker thread once destruction has
+  /// begun is a usage error and aborts.
   void submit(Task task);
 
   /// Enqueues a callable and returns a future for its result; an exception

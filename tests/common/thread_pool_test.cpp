@@ -119,6 +119,36 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
   EXPECT_EQ(executed.load(), kTasks);
 }
 
+TEST(ThreadPoolTest, DrainedTaskMaySubmitFollowUpWork) {
+  // A task that is drained by the destructor may itself submit follow-up
+  // work; the drain must run that too instead of aborting or dropping it.
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&pool, &executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        pool.submit([&executed] { executed.fetch_add(1); });
+      });
+    }
+    // No wait_idle(): some parents run only during destructor drain.
+  }
+  EXPECT_EQ(executed.load(), 8);
+}
+
+TEST(ThreadPoolTest, SingleTaskAfterQuiescenceAlwaysRuns) {
+  // Regression for a lost wakeup: a lone task submitted to an otherwise idle
+  // pool must always wake a worker, even when every worker is already parked
+  // in its condition-variable wait.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran.store(true); });
+    pool.wait_idle();
+    ASSERT_TRUE(ran.load());
+  }
+}
+
 TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
   ThreadPool pool(2);
   pool.wait_idle();
