@@ -15,6 +15,11 @@ bool SimDeviceChannel::deliver(const pubsub::NotificationPtr& notification) {
   // plus a small fixed header.
   constexpr std::size_t kHeaderBytes = 64;
   link_.record_downlink(kHeaderBytes + notification->payload.size());
+  // On a faulty link the bytes are spent either way, but the message may
+  // silently vanish — this channel is fire-and-forget (no retransmission;
+  // fault latency is ignored because nobody waits for an acknowledgement).
+  // ReliableDeviceChannel is the layer that survives this.
+  if (!link_.downlink_passes()) return false;
   return device_.receive(notification);
 }
 

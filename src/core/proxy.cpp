@@ -71,12 +71,13 @@ std::vector<NotificationPtr> Proxy::handle_read(const std::string& topic,
 }
 
 void Proxy::handle_sync(const std::string& topic, std::size_t queue_size,
-                        const std::vector<ReadRecord>& offline_reads) {
+                        const std::vector<ReadRecord>& offline_reads,
+                        std::uint64_t sync_id) {
   auto it = topics_.find(topic);
   if (it == topics_.end()) {
     throw std::invalid_argument("handle_sync: unmanaged topic: " + topic);
   }
-  it->second->handle_sync(queue_size, offline_reads);
+  it->second->handle_sync(queue_size, offline_reads, sync_id);
 }
 
 void Proxy::handle_network(net::LinkState status) {
@@ -87,8 +88,12 @@ void Proxy::handle_network(net::LinkState status) {
 // ------------------------------------------------------------ LastHopSession
 
 LastHopSession::LastHopSession(Proxy& proxy, SimDeviceChannel& channel)
-    : proxy_(proxy), channel_(channel) {
-  channel_.link().on_state_change([this](net::LinkState state) {
+    : LastHopSession(proxy, channel.link(), channel.device()) {}
+
+LastHopSession::LastHopSession(Proxy& proxy, net::Link& link,
+                               device::Device& device)
+    : proxy_(proxy), link_(link), device_(device) {
+  link_.on_state_change([this](net::LinkState state) {
     if (state != net::LinkState::kUp) return;
     // Flush syncs deferred during the outage: the device reports how much it
     // now holds, correcting the proxy's queue-size view so the forwarding
@@ -96,14 +101,14 @@ LastHopSession::LastHopSession(Proxy& proxy, SimDeviceChannel& channel)
     // a live READ.
     const auto pending = std::move(pending_sync_);
     pending_sync_.clear();
-    device::Device& device = channel_.device();
     for (const auto& [topic, offline_reads] : pending) {
       if (proxy_.topic(topic) == nullptr) continue;
       constexpr std::size_t kSyncBytes = 16;
       constexpr std::size_t kBytesPerRecord = 12;
-      channel_.link().record_uplink(kSyncBytes +
-                                    kBytesPerRecord * offline_reads.size());
-      proxy_.handle_sync(topic, device.queue_size(topic), offline_reads);
+      link_.record_uplink(kSyncBytes +
+                          kBytesPerRecord * offline_reads.size());
+      proxy_.handle_sync(topic, device_.queue_size(topic), offline_reads,
+                         next_request_id_++);
     }
   });
 }
@@ -111,26 +116,28 @@ LastHopSession::LastHopSession(Proxy& proxy, SimDeviceChannel& channel)
 void LastHopSession::send_read(const std::string& topic) {
   TopicState* state = proxy_.topic(topic);
   const auto& options = state->config().options;
-  device::Device& device = channel_.device();
 
   // Uplink READ request: N, queue_size, and the device's best ids.
   ReadRequest request;
+  request.request_id = next_request_id_++;
   request.n = options.max;
-  request.queue_size = device.queue_size(topic);
-  request.client_events = device.top_ids(topic, options.max, options.threshold);
+  request.queue_size = device_.queue_size(topic);
+  request.client_events =
+      device_.top_ids(topic, options.max, options.threshold);
   constexpr std::size_t kRequestHeaderBytes = 32;
   constexpr std::size_t kBytesPerId = 8;
-  channel_.link().record_uplink(kRequestHeaderBytes +
-                                kBytesPerId * request.client_events.size());
+  link_.record_uplink(kRequestHeaderBytes +
+                      kBytesPerId * request.client_events.size());
   proxy_.handle_read(topic, request);  // difference arrives via the channel
 }
 
 void LastHopSession::request_sync(const std::string& topic) {
   if (proxy_.topic(topic) == nullptr) return;
-  if (channel_.link_up()) {
+  if (link_.is_up()) {
     constexpr std::size_t kSyncBytes = 16;
-    channel_.link().record_uplink(kSyncBytes);
-    proxy_.handle_sync(topic, channel_.device().queue_size(topic));
+    link_.record_uplink(kSyncBytes);
+    proxy_.handle_sync(topic, device_.queue_size(topic), {},
+                       next_request_id_++);
   } else {
     pending_sync_.try_emplace(topic);  // an empty read log still syncs size
   }
@@ -143,9 +150,9 @@ std::vector<NotificationPtr> LastHopSession::user_read(
     throw std::invalid_argument("user_read: unmanaged topic: " + topic);
   }
   const auto& options = state->config().options;
-  device::Device& device = channel_.device();
+  device::Device& device = device_;
 
-  const bool online = channel_.link_up() && !device.battery_dead();
+  const bool online = link_.is_up() && !device.battery_dead();
   const PolicyKind kind = state->config().policy.kind;
   const bool prefetching = kind == PolicyKind::kBufferPrefetch ||
                            kind == PolicyKind::kRatePrefetch ||

@@ -16,6 +16,7 @@
 
 #include "core/channel.h"
 #include "core/forwarding_policy.h"
+#include "device/device.h"
 #include "core/read_protocol.h"
 #include "core/topic_state.h"
 #include "net/link.h"
@@ -70,9 +71,11 @@ class Proxy final : public pubsub::Subscriber {
                                                    const ReadRequest& request);
 
   /// Queue-state sync from the device (sent at reconnection after offline
-  /// reads). Throws std::invalid_argument for an unmanaged topic.
+  /// reads). `sync_id` (0 = unstamped) makes retransmitted syncs idempotent.
+  /// Throws std::invalid_argument for an unmanaged topic.
   void handle_sync(const std::string& topic, std::size_t queue_size,
-                   const std::vector<ReadRecord>& offline_reads = {});
+                   const std::vector<ReadRecord>& offline_reads = {},
+                   std::uint64_t sync_id = 0);
 
   /// NETWORK(status) for every managed topic.
   void handle_network(net::LinkState status);
@@ -103,7 +106,13 @@ class Proxy final : public pubsub::Subscriber {
 class LastHopSession {
  public:
   /// Registers a link-state listener; construct after Proxy::attach_to_link
-  /// so the proxy forwards before the deferred READs are replayed.
+  /// so the proxy forwards before the deferred READs are replayed. The
+  /// session only needs the link (uplink accounting, outage state) and the
+  /// device — it works identically over a plain SimDeviceChannel or a
+  /// ReliableDeviceChannel.
+  LastHopSession(Proxy& proxy, net::Link& link, device::Device& device);
+
+  /// Convenience overload for the common plain-channel wiring.
   LastHopSession(Proxy& proxy, SimDeviceChannel& channel);
 
   /// One user read on `topic`: returns the notifications the user saw.
@@ -128,8 +137,11 @@ class LastHopSession {
   void send_read(const std::string& topic);
 
   Proxy& proxy_;
-  SimDeviceChannel& channel_;
+  net::Link& link_;
+  device::Device& device_;
   std::uint64_t total_read_ = 0;
+  /// Stamps READs and syncs so the proxy can absorb retransmissions.
+  std::uint64_t next_request_id_ = 1;
   /// Per topic: offline reads awaiting a deferred sync at reconnection.
   std::map<std::string, std::vector<ReadRecord>> pending_sync_;
 };

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/ids.h"
@@ -14,6 +15,11 @@
 namespace waif::core {
 
 struct ReadRequest {
+  /// Protocol-level request id (0 = unstamped). On an unreliable uplink the
+  /// same READ may be retransmitted; the proxy uses the id to make handling
+  /// idempotent (moving averages train once, the difference is computed
+  /// once) while still refreshing the queue-size view.
+  std::uint64_t request_id = 0;
   /// Number of items the user wants to read (usually the subscription Max).
   int n = 0;
   /// Messages currently in the queue on the client device, including any of

@@ -15,8 +15,29 @@ ReplicatedProxy::ReplicatedProxy(sim::Simulator& sim, net::Link& link,
     : sim_(sim),
       link_(link),
       device_(device),
-      real_channel_(link, device),
+      owned_channel_(std::make_unique<SimDeviceChannel>(link, device)),
+      real_channel_(*owned_channel_),
       config_(config) {
+  init();
+}
+
+ReplicatedProxy::ReplicatedProxy(sim::Simulator& sim, net::Link& link,
+                                 device::Device& device, DeviceChannel& channel,
+                                 ReplicationConfig config)
+    : sim_(sim),
+      link_(link),
+      device_(device),
+      real_channel_(channel),
+      config_(config) {
+  init();
+}
+
+ReplicatedProxy::~ReplicatedProxy() {
+  heartbeat_timer_.cancel();
+  detector_timer_.cancel();
+}
+
+void ReplicatedProxy::init() {
   for (std::size_t i = 0; i < 2; ++i) {
     replicas_[i].channel = std::make_unique<ReplicaChannel>(*this, i);
     replicas_[i].proxy = std::make_unique<Proxy>(
@@ -29,11 +50,13 @@ ReplicatedProxy::ReplicatedProxy(sim::Simulator& sim, net::Link& link,
     active_proxy().handle_network(state);
     flush_pending_syncs();
   });
+  start_failure_detector();
 }
 
 void ReplicatedProxy::add_topic(const std::string& topic, TopicConfig config) {
   for (Replica& replica : replicas_) replica.proxy->add_topic(topic, config);
   device_.set_topic_threshold(topic, config.options.threshold);
+  topic_configs_.emplace_back(topic, config);
 }
 
 void ReplicatedProxy::on_notification(const NotificationPtr& notification) {
@@ -53,7 +76,10 @@ std::vector<NotificationPtr> ReplicatedProxy::user_read(
   }
   const auto& options = state->config().options;
 
-  const bool online = real_channel_.link_up() && !device_.battery_dead();
+  // A crashed-but-not-yet-replaced active replica leaves the hop headless:
+  // the read is served from the device's local queue only, like an outage.
+  const bool online = replicas_[active_].alive && real_channel_.link_up() &&
+                      !device_.battery_dead();
   if (online) {
     send_read(topic, *state);
   } else if (!device_.battery_dead()) {
@@ -133,20 +159,95 @@ void ReplicatedProxy::replicate_read(std::size_t from, const std::string& topic,
 }
 
 void ReplicatedProxy::fail_active() {
-  Replica& failed = replicas_[active_];
-  WAIF_CHECK(failed.alive);
-  const std::size_t survivor = 1 - active_;
-  if (!replicas_[survivor].alive) {
+  if (!replicas_[1 - active_].alive) {
     throw std::logic_error("fail_active: no replica left to promote");
   }
+  crash_active();
+  promote_standby();
+}
+
+void ReplicatedProxy::crash_active() {
+  Replica& failed = replicas_[active_];
+  WAIF_CHECK(failed.alive);
   failed.alive = false;
+  ++stats_.crashes;
+}
+
+void ReplicatedProxy::restart_replica(std::size_t index) {
+  WAIF_CHECK(index < 2);
+  Replica& replica = replicas_[index];
+  WAIF_CHECK(!replica.alive);
+  // A fresh process: empty queues, no memory of the device. It re-learns
+  // what the device holds through replication records and future reads.
+  replica.channel = std::make_unique<ReplicaChannel>(*this, index);
+  replica.proxy = std::make_unique<Proxy>(
+      sim_, *replica.channel,
+      index == 0 ? "replica-primary" : "replica-standby");
+  for (const auto& [topic, config] : topic_configs_) {
+    replica.proxy->add_topic(topic, config);
+  }
+  replica.alive = true;
+  ++stats_.restarts;
+  if (index == active_) {
+    // The crashed active came back before the detector promoted anyone:
+    // it resumes the active role from a cold start.
+    last_active_heartbeat_ = sim_.now();
+    replica.proxy->handle_network(link_.is_up() ? net::LinkState::kUp
+                                                : net::LinkState::kDown);
+  }
+}
+
+void ReplicatedProxy::promote_standby() {
+  const std::size_t survivor = 1 - active_;
+  WAIF_CHECK(replicas_[survivor].alive);
   active_ = survivor;
   ++stats_.failovers;
+  last_active_heartbeat_ = sim_.now();
   // The promoted replica starts forwarding immediately if the link allows;
   // anything the old active forwarded but did not replicate in time will be
   // sent again (duplicate receives on the device).
   replicas_[survivor].proxy->handle_network(
       link_.is_up() ? net::LinkState::kUp : net::LinkState::kDown);
+}
+
+void ReplicatedProxy::start_failure_detector() {
+  if (config_.heartbeat_interval <= 0) return;
+  WAIF_CHECK(config_.suspicion_timeout >
+             config_.heartbeat_interval + config_.replication_latency);
+  last_active_heartbeat_ = sim_.now();
+  schedule_heartbeat();
+  schedule_detector();
+}
+
+void ReplicatedProxy::schedule_heartbeat() {
+  heartbeat_timer_ =
+      sim_.schedule_after(config_.heartbeat_interval, [this] {
+        if (replicas_[active_].alive) {
+          ++stats_.heartbeats;
+          // The heartbeat rides the same asynchronous channel as replication
+          // records; the detector sees it one latency later.
+          sim_.schedule_after(config_.replication_latency, [this] {
+            last_active_heartbeat_ = sim_.now();
+          });
+        }
+        schedule_heartbeat();
+      });
+}
+
+void ReplicatedProxy::schedule_detector() {
+  detector_timer_ = sim_.schedule_after(config_.heartbeat_interval, [this] {
+    check_active_liveness();
+    schedule_detector();
+  });
+}
+
+void ReplicatedProxy::check_active_liveness() {
+  if (!replicas_[1 - active_].alive) return;  // nobody to promote
+  if (sim_.now() - last_active_heartbeat_ < config_.suspicion_timeout) return;
+  // Sustained silence: the active replica crashed (or is half-open and its
+  // heartbeats are not getting through). Either way the standby takes over.
+  ++stats_.auto_promotions;
+  promote_standby();
 }
 
 std::size_t ReplicatedProxy::live_replicas() const {

@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/channel.h"
@@ -36,6 +37,14 @@ namespace waif::core {
 struct ReplicationConfig {
   /// One-way delay of the replication channel between the replicas.
   SimDuration replication_latency = 50 * kMillisecond;
+  /// Interval between heartbeats from the active replica to the failure
+  /// detector. 0 disables the detector (manual failover only): no recurring
+  /// events are scheduled, so existing run-to-completion setups never block.
+  SimDuration heartbeat_interval = 0;
+  /// Heartbeat silence after which the detector suspects the active replica
+  /// and promotes the standby. Must exceed heartbeat_interval (plus the
+  /// replication latency the heartbeat rides on) when the detector is on.
+  SimDuration suspicion_timeout = 0;
 };
 
 struct ReplicationStats {
@@ -45,14 +54,33 @@ struct ReplicationStats {
   /// Replication records that arrived at a replica after it had already
   /// been promoted (the asynchrony window made them redundant-or-late).
   std::uint64_t late_records = 0;
+  /// Heartbeats the active replica sent.
+  std::uint64_t heartbeats = 0;
+  /// Failovers triggered by the failure detector (subset of `failovers`).
+  std::uint64_t auto_promotions = 0;
+  /// Replica crashes injected (fail_active or crash_active).
+  std::uint64_t crashes = 0;
+  /// Dead replicas brought back by restart_replica.
+  std::uint64_t restarts = 0;
 };
 
-/// Two-replica proxy with manual failover. Subscribe the ReplicatedProxy
-/// itself at the broker; it relays notifications to every live replica.
+/// Two-replica proxy with manual or heartbeat-driven failover. Subscribe the
+/// ReplicatedProxy itself at the broker; it relays notifications to every
+/// live replica.
 class ReplicatedProxy final : public pubsub::Subscriber {
  public:
   ReplicatedProxy(sim::Simulator& sim, net::Link& link, device::Device& device,
                   ReplicationConfig config = {});
+
+  /// Same, but forwarding over a caller-owned channel (e.g. a
+  /// ReliableDeviceChannel layered on a faulty link) instead of an internal
+  /// SimDeviceChannel. `channel` must outlive the ReplicatedProxy.
+  ReplicatedProxy(sim::Simulator& sim, net::Link& link, device::Device& device,
+                  DeviceChannel& channel, ReplicationConfig config = {});
+
+  /// Cancels the detector/heartbeat timers so a ReplicatedProxy can be torn
+  /// down while its simulator still runs.
+  ~ReplicatedProxy() override;
 
   /// Configures a topic on both replicas and registers the device-side
   /// threshold for retraction handling.
@@ -67,12 +95,29 @@ class ReplicatedProxy final : public pubsub::Subscriber {
   std::vector<pubsub::NotificationPtr> user_read(const std::string& topic);
 
   // --- failure injection -----------------------------------------------------
-  /// Crashes the active replica and promotes the standby. The crashed
-  /// replica stops receiving notifications and never comes back.
+  /// Crashes the active replica and promotes the standby immediately
+  /// (manual failover). Throws std::logic_error with no live standby.
   void fail_active();
 
+  /// Crashes the active replica *without* promoting anyone: the crashed
+  /// replica just goes silent. With the failure detector enabled the standby
+  /// is promoted automatically once heartbeat silence reaches the suspicion
+  /// timeout; until then the last hop is headless (reads are served from the
+  /// device's local queue only).
+  void crash_active();
+
+  /// Brings a crashed replica back as a fresh, cold standby: a new Proxy
+  /// with the recorded topic configuration and empty queues. It re-warms
+  /// from the live notification feed; state the device already holds is
+  /// unknown to it until replication/reads teach it (the asynchrony price).
+  void restart_replica(std::size_t index);
+
   bool primary_is_active() const { return active_ == 0; }
-  /// Live replicas remaining (2, then 1 after a failover).
+  bool active_is_alive() const { return replicas_[active_].alive; }
+  bool replica_alive(std::size_t index) const {
+    return index < 2 && replicas_[index].alive;
+  }
+  /// Live replicas remaining.
   std::size_t live_replicas() const;
 
   Proxy& active_proxy() { return *replicas_[active_].proxy; }
@@ -114,14 +159,33 @@ class ReplicatedProxy final : public pubsub::Subscriber {
                       std::size_t queue_size, const ReadRecord& record);
   void send_read(const std::string& topic, TopicState& state);
   void flush_pending_syncs();
+  /// Shared constructor body: builds the replicas and wires the link.
+  void init();
+  /// Switches the active role to the standby and wakes it.
+  void promote_standby();
+  /// Starts the recurring heartbeat/detector events (detector enabled only).
+  void start_failure_detector();
+  void schedule_heartbeat();
+  void schedule_detector();
+  /// Detector tick: promotes the standby after sustained heartbeat silence.
+  void check_active_liveness();
 
   sim::Simulator& sim_;
   net::Link& link_;
   device::Device& device_;
-  SimDeviceChannel real_channel_;
+  /// Set when this ReplicatedProxy owns its forwarding channel (the plain
+  /// SimDeviceChannel constructor); null when the caller supplied one.
+  std::unique_ptr<DeviceChannel> owned_channel_;
+  DeviceChannel& real_channel_;
   ReplicationConfig config_;
   Replica replicas_[2];
   std::size_t active_ = 0;
+  /// Topic configuration, recorded so restart_replica can rebuild a proxy.
+  std::vector<std::pair<std::string, TopicConfig>> topic_configs_;
+  /// Failure-detector state: when the last heartbeat *arrived*.
+  SimTime last_active_heartbeat_ = 0;
+  sim::EventHandle heartbeat_timer_;
+  sim::EventHandle detector_timer_;
   /// Device-side log of offline reads per topic (survives failovers: it
   /// lives on the device, not on a proxy).
   std::map<std::string, std::vector<ReadRecord>> pending_sync_;

@@ -113,6 +113,11 @@ void TopicState::handle_notification(const NotificationPtr& event) {
 void TopicState::track_expiration(const NotificationPtr& event) {
   if (!event->expires()) return;
   exp_times_.add(to_seconds(event->remaining_lifetime(sim_.now())));
+  arm_expiration_timer(event);
+}
+
+void TopicState::arm_expiration_timer(const NotificationPtr& event) {
+  if (!event->expires()) return;
   // schedule(&expiration_timeout, event.expires, event)
   if (auto it = expiration_timers_.find(event->id.value);
       it != expiration_timers_.end()) {
@@ -178,6 +183,19 @@ bool TopicState::refresh_known(const NotificationPtr& event) {
 std::vector<NotificationPtr> TopicState::handle_read(const ReadRequest& request) {
   WAIF_CHECK(request.n >= 0);
   ++stats_.read_requests;
+
+  if (request.request_id != 0 &&
+      !seen_read_ids_.insert(request.request_id).second) {
+    // A retransmitted READ (the request or its effects were lost on an
+    // unreliable hop). The queue-size report is current, so refresh the
+    // view — but the moving averages must train once per *user* read, and
+    // the first attempt already moved the difference into outgoing, so a
+    // forwarding pass is all that is still needed.
+    ++stats_.duplicate_reads;
+    queue_size_view_ = request.queue_size;
+    try_forwarding();
+    return {};
+  }
 
   // topic.old_reads ∪ N ; prefetch_limit = moving_average(old_reads) * 2
   old_reads_.add(static_cast<double>(request.n));
@@ -245,8 +263,17 @@ std::vector<NotificationPtr> TopicState::handle_read(const ReadRequest& request)
 }
 
 void TopicState::handle_sync(std::size_t queue_size,
-                             const std::vector<ReadRecord>& offline_reads) {
+                             const std::vector<ReadRecord>& offline_reads,
+                             std::uint64_t sync_id) {
   ++stats_.sync_requests;
+  if (sync_id != 0 && !seen_sync_ids_.insert(sync_id).second) {
+    // A retransmitted sync: the queue-size report is refreshed but the
+    // offline-read log trains the averages exactly once.
+    ++stats_.duplicate_syncs;
+    queue_size_view_ = queue_size;
+    try_forwarding();
+    return;
+  }
   for (const ReadRecord& record : offline_reads) {
     old_reads_.add(static_cast<double>(record.n));
     read_times_.add(to_seconds(record.time));
@@ -400,6 +427,25 @@ void TopicState::apply_replicated_forward(const NotificationPtr& event) {
   forwarded_.insert(event->id.value);
   ++queue_size_view_;
   record_history(event);
+}
+
+void TopicState::requeue_undelivered(const NotificationPtr& event) {
+  ++stats_.requeued_undelivered;
+  // Reverse do_forward's bookkeeping: the transfer never completed, so the
+  // event is not on the device and occupies no device queue slot.
+  forwarded_.erase(event->id.value);
+  if (queue_size_view_ > 0) --queue_size_view_;
+  if (event->expired_at(sim_.now())) {
+    ++stats_.expired_at_proxy;
+    return;
+  }
+  // Park in holding rather than outgoing: the link just proved itself unable
+  // to carry the event, so it should not be re-pushed blindly — but an
+  // explicit read can still pull it. The expiration timer is re-armed
+  // without retraining the lifetime average (the event is not new).
+  arm_expiration_timer(event);
+  holding_.insert(event);
+  ++stats_.held;
 }
 
 // ------------------------------------------------------------------- timeouts

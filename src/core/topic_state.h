@@ -54,6 +54,9 @@ struct TopicStats {
   std::uint64_t delay_drops = 0;           // removed from the delay stage by a rank drop
   std::uint64_t interrupts = 0;            // on-demand events that interrupted
   std::uint64_t digest_deliveries = 0;     // forwarded from a digest instant
+  std::uint64_t requeued_undelivered = 0;  // transport gave up; back to holding
+  std::uint64_t duplicate_reads = 0;       // retried READs absorbed by id
+  std::uint64_t duplicate_syncs = 0;       // retried syncs absorbed by id
 };
 
 class TopicState {
@@ -89,8 +92,12 @@ class TopicState {
   /// reads at reconnection. This corrects the drifting queue_size view so
   /// prefetching can refill the buffer, and trains the same moving averages
   /// a live READ would — but unlike READ it pulls no data.
+  ///
+  /// `sync_id` (0 = unstamped) makes retried syncs idempotent: a repeated id
+  /// refreshes the queue-size view but trains the averages only once.
   void handle_sync(std::size_t queue_size,
-                   const std::vector<ReadRecord>& offline_reads = {});
+                   const std::vector<ReadRecord>& offline_reads = {},
+                   std::uint64_t sync_id = 0);
 
   /// NETWORK(status): the last hop changed state.
   void handle_network(net::LinkState status);
@@ -103,6 +110,14 @@ class TopicState {
   /// `event` to the device — marks it forwarded, drops any queued copy and
   /// bumps the queue-size view — without touching this replica's channel.
   void apply_replicated_forward(const pubsub::NotificationPtr& event);
+
+  /// Graceful degradation for a reliable transport: the channel abandoned a
+  /// transfer after exhausting its retries, so the event never reached the
+  /// device. Reverses do_forward's bookkeeping (forwarded set, queue-size
+  /// view) and parks the still-live event in the holding queue, where an
+  /// explicit read can still pull it. Wire this to
+  /// ReliableDeviceChannel::set_failure_handler.
+  void requeue_undelivered(const pubsub::NotificationPtr& event);
 
   // --- adaptive state, exposed for tests/benches ---------------------------
 
@@ -155,6 +170,9 @@ class TopicState {
   void schedule_digest(SimDuration time_of_day);
   /// Registers expiration bookkeeping (average, timer) for an event.
   void track_expiration(const pubsub::NotificationPtr& event);
+  /// (Re-)arms the expiration timer only, without retraining the lifetime
+  /// average — for events re-entering a queue (requeue_undelivered).
+  void arm_expiration_timer(const pubsub::NotificationPtr& event);
 
   /// A known event was re-ranked (still above threshold): refresh whichever
   /// stage holds it, or notify the device if it was already forwarded.
@@ -196,6 +214,9 @@ class TopicState {
   std::unordered_set<std::uint64_t> forwarded_;
   /// Pending expiration timers, cancelled when an event leaves all queues.
   std::unordered_map<std::uint64_t, sim::EventHandle> expiration_timers_;
+  /// READ/sync ids already processed (idempotence under retransmission).
+  std::unordered_set<std::uint64_t> seen_read_ids_;
+  std::unordered_set<std::uint64_t> seen_sync_ids_;
 
   MovingAverage old_reads_;        // sizes (N) of recent reads
   IntervalAverage read_times_;     // -> average interval between reads

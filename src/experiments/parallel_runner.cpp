@@ -162,6 +162,9 @@ void canonicalize(workload::CanonicalDigest& digest,
   digest.u64(topic.delay_drops);
   digest.u64(topic.interrupts);
   digest.u64(topic.digest_deliveries);
+  digest.u64(topic.requeued_undelivered);
+  digest.u64(topic.duplicate_reads);
+  digest.u64(topic.duplicate_syncs);
 
   const device::DeviceStats& device = outcome.device;
   digest.u64(device.received);
@@ -180,6 +183,29 @@ void canonicalize(workload::CanonicalDigest& digest,
   digest.u64(link.downlink_bytes);
   digest.u64(link.uplink_bytes);
   digest.u64(link.transitions);
+
+  const net::FaultStats& faults = outcome.faults;
+  digest.u64(faults.independent_drops);
+  digest.u64(faults.burst_drops);
+  digest.u64(faults.half_open_drops);
+  digest.u64(faults.uplink_drops);
+  digest.u64(faults.bursts);
+  digest.u64(faults.half_open_windows);
+
+  const core::ReliableChannelStats& reliable = outcome.reliable;
+  digest.u64(reliable.accepted);
+  digest.u64(reliable.transmissions);
+  digest.u64(reliable.retries);
+  digest.u64(reliable.link_drops);
+  digest.u64(reliable.outage_losses);
+  digest.u64(reliable.delivered);
+  digest.u64(reliable.duplicates_suppressed);
+  digest.u64(reliable.acks_sent);
+  digest.u64(reliable.ack_losses);
+  digest.u64(reliable.acked);
+  digest.u64(reliable.expired_abandoned);
+  digest.u64(reliable.attempts_exhausted);
+  digest.u64(reliable.requeued);
 }
 
 void canonicalize(workload::CanonicalDigest& digest,

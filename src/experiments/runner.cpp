@@ -1,10 +1,13 @@
 #include "experiments/runner.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/check.h"
 #include "common/moving_stats.h"
+#include "common/rng.h"
 #include "core/channel.h"
+#include "core/reliable_channel.h"
 #include "pubsub/broker.h"
 #include "pubsub/publisher.h"
 #include "sim/simulator.h"
@@ -12,7 +15,13 @@
 namespace waif::experiments {
 
 double RunOutcome::waste_percent() const {
-  return metrics::waste_percent(forwarded_unique, read_ids.size());
+  // Under a faulty link a requeued-then-reread message can push reads past
+  // the unique-forward count (the forward record was erased when the
+  // transfer was abandoned, but the device still held the copy). Clamp:
+  // reading at least everything forwarded means zero waste.
+  return metrics::waste_percent(forwarded_unique,
+                                std::min<std::uint64_t>(forwarded_unique,
+                                                        read_ids.size()));
 }
 
 RunOutcome run_trace(const workload::Trace& trace,
@@ -35,8 +44,23 @@ RunOutcome run_trace(const workload::Trace& trace,
   device_config.send_cost = device_overrides.send_cost;
   device::Device device(sim, DeviceId{1}, device_config);
 
+  // With any fault parameter non-zero the last hop becomes lossy and the
+  // run switches to the reliable transport; with all parameters zero this
+  // block is skipped entirely and the run takes the exact fire-and-forget
+  // path (same RNG streams, same event sequence) it always took.
   core::SimDeviceChannel channel(link, device);
-  core::Proxy proxy(sim, channel);
+  std::optional<core::ReliableDeviceChannel> reliable;
+  if (config.fault.enabled()) {
+    std::uint64_t seed_state = config.fault_seed;
+    const std::uint64_t fault_seed = splitmix64(seed_state);
+    const std::uint64_t jitter_seed = splitmix64(seed_state);
+    link.set_fault_model(config.fault, fault_seed);
+    reliable.emplace(sim, link, device, core::ReliableChannelConfig{},
+                     jitter_seed);
+  }
+  core::DeviceChannel& active_channel =
+      reliable ? static_cast<core::DeviceChannel&>(*reliable) : channel;
+  core::Proxy proxy(sim, active_channel);
   proxy.attach_to_link(link);
 
   core::TopicConfig topic_config;
@@ -45,7 +69,15 @@ RunOutcome run_trace(const workload::Trace& trace,
   topic_config.options.threshold = config.threshold;
   topic_config.policy = policy;
   // History must cover the run for correct READ rank comparison.
-  proxy.add_topic(kTopic, topic_config);
+  core::TopicState& topic_state = proxy.add_topic(kTopic, topic_config);
+  if (reliable) {
+    // Graceful degradation: a transfer the transport gave up on re-enters
+    // the holding queue, where an explicit read can still pull it.
+    reliable->set_failure_handler(
+        [&topic_state](const pubsub::NotificationPtr& event) {
+          topic_state.requeue_undelivered(event);
+        });
+  }
   // The device knows the user's qualitative limit, so rank-drop notices can
   // retract held copies instead of letting them clog the buffer.
   device.set_topic_threshold(kTopic, config.threshold);
@@ -54,7 +86,7 @@ RunOutcome run_trace(const workload::Trace& trace,
   publisher.advertise(kTopic);
   broker.subscribe(kTopic, proxy, topic_config.options);
 
-  core::LastHopSession session(proxy, channel);
+  core::LastHopSession session(proxy, link, device);
 
   // --- populate the simulator with the trace's three event types -----------
 
@@ -101,7 +133,18 @@ RunOutcome run_trace(const workload::Trace& trace,
   outcome.device = device.stats();
   outcome.link = link.stats();
   outcome.forwarded_unique = state->forwarded_unique();
-  WAIF_CHECK(outcome.read_ids.size() <= outcome.forwarded_unique);
+  if (reliable) outcome.reliable = reliable->stats();
+  if (const net::FaultModel* fault = link.fault_model()) {
+    outcome.faults = fault->stats();
+  }
+  if (!config.fault.enabled()) {
+    // On a perfect hop every read id was forwarded by this proxy. A faulty
+    // hop breaks the set relation in one legal corner: a message can be
+    // delivered while all of its ACKs are lost, after which the transport
+    // gives up and requeue_undelivered removes the id from the forwarded
+    // set even though the device (and hence a read) still has it.
+    WAIF_CHECK(outcome.read_ids.size() <= outcome.forwarded_unique);
+  }
   return outcome;
 }
 

@@ -9,8 +9,10 @@
 
 #include "core/forwarding_policy.h"
 #include "core/proxy.h"
+#include "core/reliable_channel.h"
 #include "device/device.h"
 #include "metrics/inefficiency.h"
+#include "net/fault.h"
 #include "net/link.h"
 #include "workload/scenario.h"
 #include "workload/trace.h"
@@ -31,6 +33,11 @@ struct RunOutcome {
   core::TopicStats topic;
   device::DeviceStats device;
   net::LinkStats link;
+  /// Fault process counters; all-zero unless the scenario enables faults.
+  net::FaultStats faults;
+  /// Reliable-transport counters; all-zero unless the scenario enables
+  /// faults (the fire-and-forget channel is used otherwise).
+  core::ReliableChannelStats reliable;
 
   /// waste% of this run: forwarded-but-never-read / forwarded.
   double waste_percent() const;

@@ -1,0 +1,80 @@
+#include "net/fault.h"
+
+#include "common/check.h"
+#include "common/distributions.h"
+
+namespace waif::net {
+
+FaultModel::FaultModel(FaultConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  WAIF_CHECK(config.drop_probability >= 0.0 && config.drop_probability <= 1.0);
+  WAIF_CHECK(config.burst_start_probability >= 0.0 &&
+             config.burst_start_probability <= 1.0);
+  WAIF_CHECK(config.mean_burst_length >= 1.0);
+  WAIF_CHECK(config.half_open_probability >= 0.0 &&
+             config.half_open_probability <= 1.0);
+  WAIF_CHECK(config.mean_half_open > 0);
+  WAIF_CHECK(config.base_latency >= 0);
+  WAIF_CHECK(config.mean_latency_jitter >= 0);
+  WAIF_CHECK(config.uplink_drop_probability >= 0.0 &&
+             config.uplink_drop_probability <= 1.0);
+}
+
+bool FaultModel::downlink_passes(SimTime now) {
+  if (half_open(now)) {
+    ++stats_.half_open_drops;
+    return false;
+  }
+  if (in_burst_) {
+    ++stats_.burst_drops;
+    // Geometric burst length: each swallowed message ends the burst with
+    // probability 1/mean.
+    if (rng_.next_double() < 1.0 / config_.mean_burst_length) {
+      in_burst_ = false;
+    }
+    return false;
+  }
+  if (config_.burst_start_probability > 0.0 &&
+      rng_.next_double() < config_.burst_start_probability) {
+    in_burst_ = true;
+    ++stats_.bursts;
+    ++stats_.burst_drops;
+    return false;
+  }
+  if (config_.drop_probability > 0.0 &&
+      rng_.next_double() < config_.drop_probability) {
+    ++stats_.independent_drops;
+    return false;
+  }
+  return true;
+}
+
+bool FaultModel::uplink_passes() {
+  if (config_.uplink_drop_probability > 0.0 &&
+      rng_.next_double() < config_.uplink_drop_probability) {
+    ++stats_.uplink_drops;
+    return false;
+  }
+  return true;
+}
+
+SimDuration FaultModel::draw_downlink_latency() {
+  SimDuration latency = config_.base_latency;
+  if (config_.mean_latency_jitter > 0) {
+    latency += seconds(
+        Exponential(to_seconds(config_.mean_latency_jitter))(rng_));
+  }
+  return latency;
+}
+
+void FaultModel::on_link_up(SimTime now) {
+  if (config_.half_open_probability > 0.0 &&
+      rng_.next_double() < config_.half_open_probability) {
+    const SimDuration window =
+        seconds(Exponential(to_seconds(config_.mean_half_open))(rng_));
+    half_open_until_ = now + std::max<SimDuration>(window, 1);
+    ++stats_.half_open_windows;
+  }
+}
+
+}  // namespace waif::net

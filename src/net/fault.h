@@ -1,0 +1,121 @@
+// Fault injection for the last hop.
+//
+// The clean two-state Link models outages the device can *see* (the radio
+// reports "no signal"). Real push pipelines additionally suffer faults the
+// endpoints cannot see: individual packets vanish, losses arrive in bursts,
+// and connections go half-open — the link looks up, uplink traffic still
+// flows, but downlink messages silently disappear until the window passes.
+// A FaultModel layers exactly those failure modes over a Link, drawing every
+// decision from its own deterministic RNG stream so that a pinned scenario
+// (workload/scenario.h serializes FaultConfig) replays the identical fault
+// pattern on any platform at any --jobs count.
+//
+// With every probability and latency at zero the model is disabled and the
+// link behaves exactly as before — the reliability layer built on top
+// (core/reliable_channel.h) is a strict superset, not a behaviour change.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace waif::net {
+
+struct FaultConfig {
+  /// Independent per-downlink-message drop probability (good state of the
+  /// Gilbert–Elliott channel below).
+  double drop_probability = 0.0;
+
+  /// Probability that any downlink message tips the channel into a loss
+  /// burst (the Gilbert–Elliott bad state), during which every message is
+  /// dropped. 0 disables burst loss.
+  double burst_start_probability = 0.0;
+  /// Mean number of messages a burst swallows; each bursty message ends the
+  /// burst with probability 1/mean (geometric lengths). Must be >= 1.
+  double mean_burst_length = 4.0;
+
+  /// Probability that a down->up transition comes back *half-open*: is_up()
+  /// reports true and uplink traffic passes, but every downlink message
+  /// silently vanishes until the window ends. 0 disables half-open failures.
+  double half_open_probability = 0.0;
+  /// Mean duration of a half-open window (exponentially distributed).
+  SimDuration mean_half_open = 5 * kMinute;
+
+  /// Fixed one-way delivery latency added to every surviving downlink
+  /// message. 0 keeps delivery synchronous.
+  SimDuration base_latency = 0;
+  /// Mean of an additional exponential latency jitter; 0 disables jitter.
+  SimDuration mean_latency_jitter = 0;
+
+  /// Independent drop probability for uplink messages (ACKs, READ requests).
+  double uplink_drop_probability = 0.0;
+
+  /// Any fault parameter non-zero?
+  bool enabled() const {
+    return drop_probability > 0.0 || burst_start_probability > 0.0 ||
+           half_open_probability > 0.0 || base_latency > 0 ||
+           mean_latency_jitter > 0 || uplink_drop_probability > 0.0;
+  }
+};
+
+struct FaultStats {
+  /// Downlink messages dropped by the independent (good-state) coin.
+  std::uint64_t independent_drops = 0;
+  /// Downlink messages swallowed by a loss burst.
+  std::uint64_t burst_drops = 0;
+  /// Downlink messages lost inside a half-open window.
+  std::uint64_t half_open_drops = 0;
+  /// Uplink messages dropped.
+  std::uint64_t uplink_drops = 0;
+  /// Loss bursts started.
+  std::uint64_t bursts = 0;
+  /// Half-open windows opened.
+  std::uint64_t half_open_windows = 0;
+
+  std::uint64_t downlink_drops() const {
+    return independent_drops + burst_drops + half_open_drops;
+  }
+};
+
+/// Seeded, deterministic fault process for one link. All randomness comes
+/// from the model's own RNG, consumed in simulation event order, so a run is
+/// reproducible from (FaultConfig, seed) alone.
+class FaultModel {
+ public:
+  FaultModel(FaultConfig config, std::uint64_t seed);
+
+  const FaultConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  /// One downlink transmission attempt at `now`; false = the message
+  /// silently vanished (burst, half-open window, or independent drop).
+  bool downlink_passes(SimTime now);
+
+  /// One uplink transmission attempt; false = dropped.
+  bool uplink_passes();
+
+  /// Latency to add to a surviving downlink message.
+  SimDuration draw_downlink_latency();
+
+  /// Called by the Link on every down->up transition; may open a half-open
+  /// window starting at `now`.
+  void on_link_up(SimTime now);
+
+  /// True while a half-open window covers `now`.
+  bool half_open(SimTime now) const { return now < half_open_until_; }
+
+  /// True while the Gilbert–Elliott channel is in its loss burst state.
+  bool in_burst() const { return in_burst_; }
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  bool in_burst_ = false;
+  SimTime half_open_until_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace waif::net

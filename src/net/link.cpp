@@ -16,6 +16,7 @@ void Link::set_state(LinkState state) {
   state_ = state;
   last_transition_ = sim_.now();
   ++stats_.transitions;
+  if (state == LinkState::kUp && fault_) fault_->on_link_up(sim_.now());
   for (const auto& listener : listeners_) listener(state);
 }
 
@@ -25,6 +26,10 @@ void Link::on_state_change(std::function<void(LinkState)> listener) {
 }
 
 void Link::apply_schedule(const OutageSchedule& schedule) {
+  // A second schedule would interleave its transitions with the first one's,
+  // double-counting transitions and corrupting downtime accounting.
+  WAIF_CHECK(!schedule_applied_);
+  schedule_applied_ = true;
   set_state(schedule.is_down(sim_.now()) ? LinkState::kDown : LinkState::kUp);
   for (const Outage& outage : schedule.outages()) {
     if (outage.end <= sim_.now()) continue;
@@ -57,6 +62,24 @@ SimDuration Link::downtime() const {
   SimDuration total = accumulated_downtime_;
   if (state_ == LinkState::kDown) total += sim_.now() - last_transition_;
   return total;
+}
+
+void Link::set_fault_model(FaultConfig config, std::uint64_t seed) {
+  fault_.emplace(config, seed);
+}
+
+bool Link::downlink_passes() {
+  WAIF_CHECK(is_up());
+  return !fault_ || fault_->downlink_passes(sim_.now());
+}
+
+bool Link::uplink_passes() {
+  WAIF_CHECK(is_up());
+  return !fault_ || fault_->uplink_passes();
+}
+
+SimDuration Link::draw_downlink_latency() {
+  return fault_ ? fault_->draw_downlink_latency() : 0;
 }
 
 }  // namespace waif::net

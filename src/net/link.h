@@ -10,9 +10,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/time.h"
+#include "net/fault.h"
 #include "net/outage.h"
 #include "sim/simulator.h"
 
@@ -49,7 +51,7 @@ class Link {
   void on_state_change(std::function<void(LinkState)> listener);
 
   /// Schedules every transition of `schedule` on the simulator and applies
-  /// the state at the current instant. Call once, at setup time.
+  /// the state at the current instant. Pre: called at most once per link.
   void apply_schedule(const OutageSchedule& schedule);
 
   /// Accounts one proxy->device message. Pre: is_up().
@@ -62,6 +64,23 @@ class Link {
   /// Cumulative time spent down up to now().
   SimDuration downtime() const;
 
+  // --- fault injection -------------------------------------------------------
+
+  /// Arms the seeded fault process (chaos runs). Replaces any earlier model.
+  void set_fault_model(FaultConfig config, std::uint64_t seed);
+
+  /// The armed fault model, or nullptr on a clean link.
+  FaultModel* fault_model() { return fault_ ? &*fault_ : nullptr; }
+  const FaultModel* fault_model() const { return fault_ ? &*fault_ : nullptr; }
+
+  /// Draws the fate of one downlink transmission: false = the message
+  /// silently vanished (never true on a clean link). Pre: is_up().
+  bool downlink_passes();
+  /// Draws the fate of one uplink transmission.
+  bool uplink_passes();
+  /// Delivery latency of one surviving downlink message (0 on a clean link).
+  SimDuration draw_downlink_latency();
+
  private:
   sim::Simulator& sim_;
   LinkState state_ = LinkState::kUp;
@@ -69,6 +88,8 @@ class Link {
   LinkStats stats_;
   SimTime last_transition_ = 0;
   SimDuration accumulated_downtime_ = 0;
+  bool schedule_applied_ = false;
+  std::optional<FaultModel> fault_;
 };
 
 }  // namespace waif::net

@@ -6,8 +6,11 @@
 // volume limits; trace.h turns one into a concrete, replayable event trace.
 #pragma once
 
+#include <cstdint>
+
 #include "common/distributions.h"
 #include "common/time.h"
+#include "net/fault.h"
 #include "pubsub/notification.h"
 
 namespace waif::workload {
@@ -61,6 +64,17 @@ struct ScenarioConfig {
   SimDuration mean_outage = 4 * kHour;
   /// Sigma of the log-normal outage duration.
   double outage_sigma = 1.0;
+
+  // --- last-hop faults (net/fault.h) ---------------------------------------
+  /// Silent loss, burst loss, half-open windows and delivery latency on the
+  /// last hop. All-zero (the default) disables the fault model entirely and
+  /// the run takes the exact fire-and-forget path it took before faults
+  /// existed; any non-zero parameter switches the experiment runner to the
+  /// reliable delivery channel (core/reliable_channel.h).
+  net::FaultConfig fault;
+  /// Seed splitmix-derived into the fault model's RNG stream and the
+  /// reliable channel's retry-jitter stream.
+  std::uint64_t fault_seed = 0x0FA17B175ull;
 
   // --- run ------------------------------------------------------------------
   /// "Each experimental run lasted for one 'virtual' year."

@@ -154,6 +154,19 @@ void write_scenario(std::ostream& out, const ScenarioConfig& config) {
   out << "outage_fraction " << config.outage_fraction << "\n";
   out << "mean_outage " << config.mean_outage << "\n";
   out << "outage_sigma " << config.outage_sigma << "\n";
+  out << "fault_drop_probability " << config.fault.drop_probability << "\n";
+  out << "fault_burst_start_probability "
+      << config.fault.burst_start_probability << "\n";
+  out << "fault_mean_burst_length " << config.fault.mean_burst_length << "\n";
+  out << "fault_half_open_probability " << config.fault.half_open_probability
+      << "\n";
+  out << "fault_mean_half_open " << config.fault.mean_half_open << "\n";
+  out << "fault_base_latency " << config.fault.base_latency << "\n";
+  out << "fault_mean_latency_jitter " << config.fault.mean_latency_jitter
+      << "\n";
+  out << "fault_uplink_drop_probability "
+      << config.fault.uplink_drop_probability << "\n";
+  out << "fault_seed " << config.fault_seed << "\n";
   out << "horizon " << config.horizon << "\n";
   out.precision(old_precision);
 }
@@ -193,6 +206,23 @@ ScenarioConfig read_scenario(std::istream& in) {
   setters["outage_fraction"] = set_double(&config.outage_fraction);
   setters["mean_outage"] = set_int64(&config.mean_outage);
   setters["outage_sigma"] = set_double(&config.outage_sigma);
+  setters["fault_drop_probability"] =
+      set_double(&config.fault.drop_probability);
+  setters["fault_burst_start_probability"] =
+      set_double(&config.fault.burst_start_probability);
+  setters["fault_mean_burst_length"] =
+      set_double(&config.fault.mean_burst_length);
+  setters["fault_half_open_probability"] =
+      set_double(&config.fault.half_open_probability);
+  setters["fault_mean_half_open"] = set_int64(&config.fault.mean_half_open);
+  setters["fault_base_latency"] = set_int64(&config.fault.base_latency);
+  setters["fault_mean_latency_jitter"] =
+      set_int64(&config.fault.mean_latency_jitter);
+  setters["fault_uplink_drop_probability"] =
+      set_double(&config.fault.uplink_drop_probability);
+  setters["fault_seed"] = [&config](std::istringstream& fields) {
+    fields >> config.fault_seed;
+  };
   setters["horizon"] = set_int64(&config.horizon);
 
   std::string line;

@@ -151,5 +151,118 @@ TEST_F(ReplicationTest, UnmanagedTopicThrows) {
   EXPECT_THROW(replicated->user_read("nowhere"), std::invalid_argument);
 }
 
+// --- heartbeat failure detector --------------------------------------------
+
+class FailureDetectorTest : public ReplicationTest {
+ protected:
+  static ReplicationConfig detector_config() {
+    ReplicationConfig config;
+    config.heartbeat_interval = 30 * kSecond;
+    config.suspicion_timeout = 5 * kMinute;
+    return config;
+  }
+};
+
+TEST_F(FailureDetectorTest, HeartbeatsFlowWhileHealthy) {
+  wire(config_with(PolicyConfig::buffer(8)), detector_config());
+  sim.run_until(5 * kMinute + kSecond);
+  EXPECT_EQ(replicated->stats().heartbeats, 10u);  // one per 30s
+  EXPECT_EQ(replicated->stats().auto_promotions, 0u);
+  EXPECT_TRUE(replicated->primary_is_active());
+}
+
+TEST_F(FailureDetectorTest, CrashIsDetectedAndStandbyPromoted) {
+  wire(config_with(PolicyConfig::buffer(8)), detector_config());
+  publisher.publish("news", 3.0);
+  // Crash just after the heartbeat at t=120s: the last heartbeat arrives at
+  // 120s + 50ms, so the first detector tick past 420.05s — the one at
+  // 450s — promotes. That is within suspicion_timeout + heartbeat_interval
+  // + replication_latency of the crash.
+  sim.schedule_at(121 * kSecond, [&] { replicated->crash_active(); });
+
+  sim.run_until(440 * kSecond);  // silence not yet long enough
+  EXPECT_EQ(replicated->stats().auto_promotions, 0u);
+  EXPECT_FALSE(replicated->active_is_alive());  // headless window
+
+  sim.run_until(460 * kSecond);
+  EXPECT_EQ(replicated->stats().auto_promotions, 1u);
+  EXPECT_EQ(replicated->stats().failovers, 1u);
+  EXPECT_EQ(replicated->stats().crashes, 1u);
+  EXPECT_FALSE(replicated->primary_is_active());
+  EXPECT_TRUE(replicated->active_is_alive());
+
+  // The promoted replica serves: a new event still reaches the device.
+  publisher.publish("news", 4.0);
+  sim.run_until(470 * kSecond);
+  EXPECT_EQ(device.stats().received, 2u);
+}
+
+TEST_F(FailureDetectorTest, HeadlessReadsAreServedLocallyUntilPromotion) {
+  wire(config_with(PolicyConfig::buffer(8)), detector_config());
+  publisher.publish("news", 3.0);
+  sim.run_until(kMinute);
+  ASSERT_EQ(device.stats().received, 1u);
+  replicated->crash_active();
+  // Before the detector fires the hop is headless: the read drains the
+  // device's local queue, like an outage, and logs a deferred sync.
+  auto read = replicated->user_read("news");
+  EXPECT_EQ(read.size(), 1u);
+  EXPECT_EQ(replicated->stats().auto_promotions, 0u);
+}
+
+TEST_F(FailureDetectorTest, RestartedReplicaRejoinsAsStandby) {
+  wire(config_with(PolicyConfig::buffer(8)), detector_config());
+  sim.schedule_at(kMinute, [&] { replicated->crash_active(); });
+  sim.run_until(10 * kMinute);
+  ASSERT_EQ(replicated->stats().auto_promotions, 1u);
+  ASSERT_EQ(replicated->live_replicas(), 1u);
+
+  replicated->restart_replica(0);
+  EXPECT_EQ(replicated->stats().restarts, 1u);
+  EXPECT_EQ(replicated->live_replicas(), 2u);
+  EXPECT_FALSE(replicated->primary_is_active());  // replica 1 keeps the role
+
+  // The rejoined standby warms from the live feed; no spurious promotion
+  // while the active replica keeps heartbeating.
+  publisher.publish("news", 3.0);
+  sim.run_until(kHour);
+  EXPECT_EQ(replicated->stats().auto_promotions, 1u);
+  EXPECT_EQ(device.stats().received, 1u);
+  EXPECT_EQ(replicated->standby_proxy().topic("news")->stats().arrivals, 1u);
+}
+
+TEST_F(FailureDetectorTest, DetectorOffMeansNoAutoPromotion) {
+  wire(config_with(PolicyConfig::buffer(8)));  // heartbeat_interval = 0
+  replicated->crash_active();
+  sim.run_until(kDay);  // terminates: no recurring events were scheduled
+  EXPECT_EQ(replicated->stats().auto_promotions, 0u);
+  EXPECT_EQ(replicated->stats().heartbeats, 0u);
+  EXPECT_TRUE(replicated->primary_is_active());
+}
+
+using FailureDetectorDeathTest = FailureDetectorTest;
+
+TEST_F(FailureDetectorDeathTest, SuspicionMustExceedHeartbeatPeriod) {
+  ReplicationConfig bad;
+  bad.heartbeat_interval = 30 * kSecond;
+  bad.suspicion_timeout = 10 * kSecond;
+  EXPECT_DEATH(wire(config_with(PolicyConfig::buffer(8)), bad),
+               "WAIF_CHECK failed");
+}
+
+TEST_F(FailureDetectorTest, ExternalChannelConstructorForwardsThroughIt) {
+  SimDeviceChannel external(link, device);
+  ReplicatedProxy proxy(sim, link, device, external);
+  TopicConfig config = config_with(PolicyConfig::buffer(8));
+  proxy.add_topic("news", config);
+  const auto subscription = broker.subscribe("news", proxy, config.options);
+  publisher.publish("news", 3.0);
+  sim.run_until(kMinute);
+  EXPECT_EQ(device.stats().received, 1u);
+  EXPECT_EQ(link.stats().downlink_messages, 1u);
+  // The proxy dies before the fixture's broker/publisher: detach it.
+  broker.unsubscribe(subscription);
+}
+
 }  // namespace
 }  // namespace waif::core

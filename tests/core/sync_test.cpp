@@ -137,6 +137,82 @@ TEST_F(SyncTest, HandleSyncUnknownTopicThrows) {
   EXPECT_THROW(proxy.handle_sync("nowhere", 0), std::invalid_argument);
 }
 
+TEST_F(SyncTest, RetriedSyncTrainsAveragesExactlyOnce) {
+  // On an unreliable hop the reconnect sync can be retransmitted; the
+  // sync_id makes the replay idempotent: the queue-size view is refreshed
+  // but the offline-read log must not train the averages twice.
+  wire("t", config_with(PolicyConfig::adaptive(), /*max=*/6));
+  TopicState* state = proxy.topic("t");
+  std::vector<ReadRecord> log{{hours(2.0), 6}, {hours(10.0), 6}};
+  sim.schedule_at(hours(12.0), [&] {
+    proxy.handle_sync("t", 0, log, /*sync_id=*/77);
+    proxy.handle_sync("t", 0, log, /*sync_id=*/77);  // retransmission
+  });
+  sim.run();
+
+  EXPECT_EQ(state->stats().sync_requests, 2u);
+  EXPECT_EQ(state->stats().duplicate_syncs, 1u);
+  // Trained once: same averages as a single sync.
+  EXPECT_EQ(state->effective_prefetch_limit(), 12u);
+  ASSERT_TRUE(state->average_read_interval().has_value());
+  EXPECT_EQ(*state->average_read_interval(), hours(8.0));
+}
+
+TEST_F(SyncTest, RetriedReadTrainsAveragesExactlyOnce) {
+  wire("t", config_with(PolicyConfig::adaptive(), /*max=*/4));
+  TopicState* state = proxy.topic("t");
+  ReadRequest first;
+  first.request_id = 1;
+  first.n = 4;
+  ReadRequest second;
+  second.request_id = 2;
+  second.n = 4;
+  sim.schedule_at(hours(1.0), [&] { proxy.handle_read("t", first); });
+  sim.schedule_at(hours(5.0), [&] {
+    proxy.handle_read("t", second);
+    proxy.handle_read("t", second);  // retransmitted READ, same id
+  });
+  sim.run();
+
+  EXPECT_EQ(state->stats().read_requests, 3u);
+  EXPECT_EQ(state->stats().duplicate_reads, 1u);
+  // One interval (1h -> 5h), not polluted by the replay.
+  ASSERT_TRUE(state->average_read_interval().has_value());
+  EXPECT_EQ(*state->average_read_interval(), hours(4.0));
+  EXPECT_EQ(state->effective_prefetch_limit(), 8u);  // 2 * 4
+}
+
+TEST_F(SyncTest, UnstampedRequestsAreNeverDeduplicated) {
+  // request_id 0 marks a legacy caller that does not participate in the
+  // idempotence protocol; each such read trains normally.
+  wire("t", config_with(PolicyConfig::adaptive(), /*max=*/4));
+  TopicState* state = proxy.topic("t");
+  ReadRequest request;  // request_id stays 0
+  request.n = 4;
+  proxy.handle_read("t", request);
+  proxy.handle_read("t", request);
+  EXPECT_EQ(state->stats().read_requests, 2u);
+  EXPECT_EQ(state->stats().duplicate_reads, 0u);
+}
+
+TEST_F(SyncTest, SessionStampsDistinctRequestIds) {
+  // A LastHopSession run: consecutive reads and reconnect syncs all carry
+  // fresh ids, so none of them are mistaken for retransmissions.
+  wire("t", config_with(PolicyConfig::buffer(4), /*max=*/4));
+  LastHopSession session(proxy, channel);
+  publish_n(8);
+  session.user_read("t");
+  session.user_read("t");
+  link.set_state(net::LinkState::kDown);
+  session.user_read("t");
+  link.set_state(net::LinkState::kUp);  // flushes the deferred sync
+  TopicState* state = proxy.topic("t");
+  EXPECT_EQ(state->stats().read_requests, 2u);
+  EXPECT_EQ(state->stats().sync_requests, 1u);
+  EXPECT_EQ(state->stats().duplicate_reads, 0u);
+  EXPECT_EQ(state->stats().duplicate_syncs, 0u);
+}
+
 TEST_F(SyncTest, SyncWithReadLogFeedsRecordsInOrder) {
   wire("t", config_with(PolicyConfig::adaptive(), /*max=*/6));
   TopicState* state = proxy.topic("t");

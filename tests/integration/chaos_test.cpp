@@ -1,0 +1,161 @@
+// End-to-end chaos coverage: the experiment runner over a faulty last hop
+// with the reliable delivery layer. Checks that the fault machinery stays
+// fully inert when disabled (so legacy runs replay byte-identically), that
+// faulty runs are deterministic, and that the transport invariants hold in
+// the face of silent drops, bursts, half-open links, and outages.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/time.h"
+#include "experiments/parallel_runner.h"
+#include "experiments/runner.h"
+#include "metrics/inefficiency.h"
+#include "workload/serialization.h"
+
+namespace waif::experiments {
+namespace {
+
+using core::PolicyConfig;
+using workload::ScenarioConfig;
+
+ScenarioConfig quick_config() {
+  ScenarioConfig config;
+  config.horizon = 60 * kDay;
+  config.event_frequency = 32.0;
+  config.user_frequency = 2.0;
+  config.max = 8;
+  return config;
+}
+
+ScenarioConfig chaos_config() {
+  ScenarioConfig config = quick_config();
+  config.outage_fraction = 0.3;
+  config.fault.drop_probability = 0.2;
+  config.fault.uplink_drop_probability = 0.2;
+  config.fault.burst_start_probability = 0.02;
+  config.fault.half_open_probability = 0.1;
+  config.fault.base_latency = 200 * kMillisecond;
+  config.fault.mean_latency_jitter = 100 * kMillisecond;
+  return config;
+}
+
+TEST(ChaosRunnerTest, DisabledFaultModelIsCompletelyInert) {
+  ScenarioConfig config = quick_config();
+  config.outage_fraction = 0.4;
+  ASSERT_FALSE(config.fault.enabled());
+  const workload::Trace trace = workload::generate_trace(config, 21);
+  const RunOutcome outcome = run_trace(trace, config, PolicyConfig::buffer(16));
+  // The reliable channel was never constructed and the fault model never
+  // consulted: their stats stay all-zero, so pre-existing digests replay.
+  EXPECT_EQ(outcome.reliable.accepted, 0u);
+  EXPECT_EQ(outcome.reliable.transmissions, 0u);
+  EXPECT_EQ(outcome.faults.downlink_drops(), 0u);
+  EXPECT_EQ(outcome.faults.uplink_drops, 0u);
+}
+
+TEST(ChaosRunnerTest, FaultyRunsReplayDeterministically) {
+  const ScenarioConfig config = chaos_config();
+  const workload::Trace trace = workload::generate_trace(config, 22);
+  const RunOutcome a = run_trace(trace, config, PolicyConfig::buffer(16));
+  const RunOutcome b = run_trace(trace, config, PolicyConfig::buffer(16));
+  EXPECT_EQ(digest(a), digest(b));
+  EXPECT_GT(a.reliable.accepted, 0u);
+  EXPECT_GT(a.faults.downlink_drops(), 0u);
+}
+
+TEST(ChaosRunnerTest, TransportInvariantsHoldUnderChaos) {
+  const ScenarioConfig config = chaos_config();
+  const workload::Trace trace = workload::generate_trace(config, 23);
+  const RunOutcome outcome = run_trace(trace, config, PolicyConfig::buffer(16));
+  const core::ReliableChannelStats& rc = outcome.reliable;
+
+  // The fault model actually bit.
+  EXPECT_GT(rc.link_drops, 0u);
+  EXPECT_GT(rc.retries, 0u);
+  // Arrivals cannot outnumber transmissions that survived the link.
+  EXPECT_LE(rc.delivered + rc.duplicates_suppressed,
+            rc.transmissions - rc.link_drops);
+  // Every accepted transfer resolved (or is still pending at the horizon).
+  EXPECT_LE(rc.acked + rc.expired_abandoned + rc.attempts_exhausted,
+            rc.accepted);
+  // The runner wires the failure handler to the holding queue: every
+  // requeued transfer shows up in the topic's books.
+  EXPECT_EQ(outcome.topic.requeued_undelivered, rc.requeued);
+  // The device never saw more than the transport delivered.
+  EXPECT_LE(outcome.device.received, rc.delivered);
+}
+
+TEST(ChaosRunnerTest, ExhaustedTransfersDegradeIntoTheHoldingQueue) {
+  // Drop hard enough that some transfer loses all its attempts: graceful
+  // degradation must route it back into the proxy's holding queue rather
+  // than lose the event.
+  ScenarioConfig config = chaos_config();
+  config.fault.drop_probability = 0.7;
+  config.fault.uplink_drop_probability = 0.7;
+  const workload::Trace trace = workload::generate_trace(config, 24);
+  const RunOutcome outcome = run_trace(trace, config, PolicyConfig::buffer(16));
+  EXPECT_GT(outcome.reliable.attempts_exhausted, 0u);
+  EXPECT_GT(outcome.topic.requeued_undelivered, 0u);
+  EXPECT_EQ(outcome.topic.requeued_undelivered, outcome.reliable.requeued);
+}
+
+TEST(ChaosRunnerTest, ReliabilityRecoversMostOfTheLoss) {
+  // With retransmission the read stream under a lossy link stays close to
+  // the fault-free one: the transport, not luck, carries the last hop.
+  ScenarioConfig faulty = chaos_config();
+  faulty.outage_fraction = 0.0;  // isolate the silent-loss effect
+  ScenarioConfig clean = faulty;
+  clean.fault = {};
+  const workload::Trace trace = workload::generate_trace(clean, 25);
+  const RunOutcome baseline = run_trace(trace, clean, PolicyConfig::buffer(16));
+  const RunOutcome lossy = run_trace(trace, faulty, PolicyConfig::buffer(16));
+  ASSERT_FALSE(baseline.read_ids.empty());
+  const double loss =
+      metrics::loss_percent(baseline.read_ids, lossy.read_ids);
+  EXPECT_LT(loss, 5.0);
+}
+
+TEST(ChaosRunnerTest, FaultConfigRoundTripsThroughSerialization) {
+  ScenarioConfig config = chaos_config();
+  config.fault_seed = 0xDEADBEEFull;
+  std::stringstream text;
+  workload::write_scenario(text, config);
+  const ScenarioConfig parsed = workload::read_scenario(text);
+  EXPECT_DOUBLE_EQ(parsed.fault.drop_probability,
+                   config.fault.drop_probability);
+  EXPECT_DOUBLE_EQ(parsed.fault.burst_start_probability,
+                   config.fault.burst_start_probability);
+  EXPECT_DOUBLE_EQ(parsed.fault.half_open_probability,
+                   config.fault.half_open_probability);
+  EXPECT_EQ(parsed.fault.base_latency, config.fault.base_latency);
+  EXPECT_EQ(parsed.fault.mean_latency_jitter,
+            config.fault.mean_latency_jitter);
+  EXPECT_EQ(parsed.fault_seed, config.fault_seed);
+  EXPECT_TRUE(parsed.fault.enabled());
+}
+
+TEST(ChaosSweepTest, ChaosCellsAreJobCountInvariant) {
+  // The same chaos sweep must digest identically no matter how many worker
+  // threads replay it — the whole point of seeding every fault source.
+  std::vector<SweepPoint> points;
+  for (double drop : {0.0, 0.1, 0.3}) {
+    SweepPoint point;
+    point.scenario = chaos_config();
+    point.scenario.horizon = 20 * kDay;
+    point.scenario.fault.drop_probability = drop;
+    point.scenario.fault.uplink_drop_probability = drop;
+    point.policy = PolicyConfig::buffer(16);
+    point.seed = 31;
+    points.push_back(point);
+  }
+  ParallelRunner serial(1);
+  ParallelRunner parallel(4);
+  const std::uint64_t serial_digest = digest(serial.compare(points));
+  const std::uint64_t parallel_digest = digest(parallel.compare(points));
+  EXPECT_EQ(serial_digest, parallel_digest);
+}
+
+}  // namespace
+}  // namespace waif::experiments

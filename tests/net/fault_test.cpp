@@ -1,0 +1,179 @@
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "net/link.h"
+#include "sim/simulator.h"
+
+namespace waif::net {
+namespace {
+
+TEST(FaultConfigTest, AllZeroIsDisabled) {
+  FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  config.drop_probability = 0.01;
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(FaultModelTest, DisabledModelPassesEverything) {
+  FaultModel model(FaultConfig{}, 42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(model.downlink_passes(i));
+    EXPECT_TRUE(model.uplink_passes());
+    EXPECT_EQ(model.draw_downlink_latency(), 0);
+  }
+  EXPECT_EQ(model.stats().downlink_drops(), 0u);
+  EXPECT_EQ(model.stats().uplink_drops, 0u);
+}
+
+TEST(FaultModelTest, SameSeedReplaysIdentically) {
+  FaultConfig config;
+  config.drop_probability = 0.3;
+  config.burst_start_probability = 0.05;
+  config.half_open_probability = 0.5;
+  config.mean_latency_jitter = kSecond;
+  FaultModel a(config, 7);
+  FaultModel b(config, 7);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(a.downlink_passes(i), b.downlink_passes(i));
+    ASSERT_EQ(a.uplink_passes(), b.uplink_passes());
+    ASSERT_EQ(a.draw_downlink_latency(), b.draw_downlink_latency());
+  }
+}
+
+TEST(FaultModelTest, DropProbabilityIsRoughlyHonored) {
+  FaultConfig config;
+  config.drop_probability = 0.3;
+  FaultModel model(config, 99);
+  int drops = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (!model.downlink_passes(0)) ++drops;
+  }
+  const double rate = static_cast<double>(drops) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+  EXPECT_EQ(model.stats().independent_drops, static_cast<std::uint64_t>(drops));
+}
+
+TEST(FaultModelTest, BurstsSwallowRunsOfMessages) {
+  FaultConfig config;
+  config.burst_start_probability = 0.02;
+  config.mean_burst_length = 8.0;
+  FaultModel model(config, 123);
+  for (int i = 0; i < 50000; ++i) model.downlink_passes(0);
+  const FaultStats& stats = model.stats();
+  ASSERT_GT(stats.bursts, 0u);
+  EXPECT_EQ(stats.independent_drops, 0u);
+  // Mean burst length should be near the configured geometric mean.
+  const double mean_length =
+      static_cast<double>(stats.burst_drops) / static_cast<double>(stats.bursts);
+  EXPECT_GT(mean_length, 4.0);
+  EXPECT_LT(mean_length, 16.0);
+}
+
+TEST(FaultModelTest, HalfOpenWindowSilentlyEatsDownlinkOnly) {
+  FaultConfig config;
+  config.half_open_probability = 1.0;  // every recovery is half-open
+  config.mean_half_open = kMinute;
+  FaultModel model(config, 5);
+  model.on_link_up(0);
+  ASSERT_EQ(model.stats().half_open_windows, 1u);
+  ASSERT_TRUE(model.half_open(0));
+  EXPECT_FALSE(model.downlink_passes(0));
+  EXPECT_EQ(model.stats().half_open_drops, 1u);
+  // The uplink still flows — that is what makes the failure invisible.
+  EXPECT_TRUE(model.uplink_passes());
+  // Long after the window the channel heals (P(exp(1min) > 1day) ~ 0).
+  EXPECT_FALSE(model.half_open(kDay));
+  EXPECT_TRUE(model.downlink_passes(kDay));
+}
+
+TEST(FaultModelTest, LatencyIsBasePlusExponentialJitter) {
+  FaultConfig fixed;
+  fixed.base_latency = 100 * kMillisecond;
+  FaultModel fixed_model(fixed, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fixed_model.draw_downlink_latency(), 100 * kMillisecond);
+  }
+
+  FaultConfig jittered = fixed;
+  jittered.mean_latency_jitter = kSecond;
+  FaultModel jitter_model(jittered, 1);
+  bool varied = false;
+  SimDuration first = jitter_model.draw_downlink_latency();
+  for (int i = 0; i < 100; ++i) {
+    const SimDuration latency = jitter_model.draw_downlink_latency();
+    EXPECT_GE(latency, jittered.base_latency);
+    if (latency != first) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(FaultModelTest, CertainUplinkDropCounts) {
+  FaultConfig config;
+  config.uplink_drop_probability = 1.0;
+  FaultModel model(config, 3);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(model.uplink_passes());
+  EXPECT_EQ(model.stats().uplink_drops, 10u);
+}
+
+TEST(FaultModelDeathTest, RejectsOutOfRangeProbability) {
+  FaultConfig config;
+  config.drop_probability = 1.5;
+  EXPECT_DEATH(FaultModel(config, 1), "WAIF_CHECK failed");
+}
+
+// --- Link integration ------------------------------------------------------
+
+TEST(LinkFaultTest, LinkWithoutFaultModelPassesEverything) {
+  sim::Simulator sim;
+  Link link(sim);
+  EXPECT_EQ(link.fault_model(), nullptr);
+  EXPECT_TRUE(link.downlink_passes());
+  EXPECT_TRUE(link.uplink_passes());
+  EXPECT_EQ(link.draw_downlink_latency(), 0);
+}
+
+TEST(LinkFaultTest, HalfOpenWindowOpensOnRecovery) {
+  sim::Simulator sim;
+  Link link(sim);
+  FaultConfig config;
+  config.half_open_probability = 1.0;
+  link.set_fault_model(config, 11);
+  link.set_state(LinkState::kDown);
+  link.set_state(LinkState::kUp);
+  ASSERT_NE(link.fault_model(), nullptr);
+  EXPECT_EQ(link.fault_model()->stats().half_open_windows, 1u);
+  EXPECT_TRUE(link.is_up());             // the device sees a healthy link...
+  EXPECT_FALSE(link.downlink_passes());  // ...but downlink traffic vanishes
+  EXPECT_TRUE(link.uplink_passes());
+}
+
+TEST(LinkFaultDeathTest, RecordDownlinkRequiresLinkUp) {
+  sim::Simulator sim;
+  Link link(sim);
+  link.set_state(LinkState::kDown);
+  EXPECT_DEATH(link.record_downlink(10), "WAIF_CHECK failed");
+}
+
+TEST(LinkFaultDeathTest, RecordUplinkRequiresLinkUp) {
+  sim::Simulator sim;
+  Link link(sim);
+  link.set_state(LinkState::kDown);
+  EXPECT_DEATH(link.record_uplink(10), "WAIF_CHECK failed");
+}
+
+TEST(LinkFaultDeathTest, SecondApplyScheduleIsRejected) {
+  sim::Simulator sim;
+  Link link(sim);
+  link.apply_schedule(OutageSchedule({Outage{10, 20}}, 100));
+  EXPECT_DEATH(link.apply_schedule(OutageSchedule::always_up(100)),
+               "WAIF_CHECK failed");
+}
+
+}  // namespace
+}  // namespace waif::net

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "common/time.h"
+#include "net/link.h"
+#include "sim/simulator.h"
 
 namespace waif::net {
 namespace {
@@ -76,6 +78,58 @@ TEST(OutageScheduleTest, AdjacentOutagesMerge) {
 TEST(OutageScheduleTest, DowntimeFractionSums) {
   const OutageSchedule schedule({Outage{0, 10}, Outage{20, 40}}, 100);
   EXPECT_DOUBLE_EQ(schedule.downtime_fraction(), 0.3);
+}
+
+TEST(OutageScheduleTest, ZeroDurationBetweenAdjacentOutagesStillMerges) {
+  const OutageSchedule schedule(
+      {Outage{10, 20}, Outage{20, 20}, Outage{20, 30}}, 100);
+  EXPECT_EQ(schedule.count(), 1u);
+  EXPECT_TRUE(schedule.is_down(25));
+  EXPECT_DOUBLE_EQ(schedule.downtime_fraction(), 0.2);
+}
+
+// --- applying schedules to a Link ------------------------------------------
+
+TEST(LinkOutageTest, ZeroDurationOutageCausesNoTransitions) {
+  sim::Simulator sim;
+  Link link(sim);
+  link.apply_schedule(OutageSchedule({Outage{50, 50}}, 100));
+  sim.run();
+  EXPECT_TRUE(link.is_up());
+  EXPECT_EQ(link.stats().transitions, 0u);
+  EXPECT_EQ(link.downtime(), 0);
+}
+
+TEST(LinkOutageTest, BackToBackOutagesTransitionExactlyTwice) {
+  // [10,20) followed by [20,30) is one contiguous outage: the link must not
+  // flap up-and-down at the 20 boundary (that would double-count
+  // transitions and could wake forwarding into a one-instant window).
+  sim::Simulator sim;
+  Link link(sim);
+  int changes = 0;
+  link.on_state_change([&changes](LinkState) { ++changes; });
+  link.apply_schedule(OutageSchedule({Outage{10, 20}, Outage{20, 30}}, 100));
+
+  sim.run_until(15);
+  EXPECT_FALSE(link.is_up());
+  sim.run_until(25);
+  EXPECT_FALSE(link.is_up());  // no flap at the seam
+  sim.run();
+  EXPECT_TRUE(link.is_up());
+  EXPECT_EQ(link.stats().transitions, 2u);  // down@10, up@30
+  EXPECT_EQ(changes, 2);
+  EXPECT_EQ(link.downtime(), 20);
+}
+
+TEST(LinkOutageTest, OutageAtTimeZeroAppliesImmediately) {
+  sim::Simulator sim;
+  Link link(sim);
+  link.apply_schedule(OutageSchedule({Outage{0, 30}}, 100));
+  EXPECT_FALSE(link.is_up());
+  sim.run();
+  EXPECT_TRUE(link.is_up());
+  EXPECT_EQ(link.stats().transitions, 2u);
+  EXPECT_EQ(link.downtime(), 30);
 }
 
 }  // namespace
