@@ -39,12 +39,8 @@ inline std::size_t parse_jobs(int argc, const char* const* argv,
   std::int64_t jobs = default_jobs;
   FlagSet flags(description);
   flags.add_int("jobs", &jobs,
-                "sweep worker threads (0 = all hardware threads)");
+                "sweep worker threads (0 = all hardware threads)", 0, 4096);
   if (!flags.parse(argc - 1, argv + 1)) std::exit(1);
-  if (jobs < 0) {
-    std::fprintf(stderr, "--jobs must be >= 0\n");
-    std::exit(1);
-  }
   return static_cast<std::size_t>(jobs);
 }
 

@@ -1,0 +1,211 @@
+// Chaos harness for proxy durability: sweeps crash point x sync policy x
+// snapshot interval x injected storage fault, replaying every cell through
+// the deterministic parallel runner. Each cell is one crash-consistent
+// last-hop run (experiments/recovery_runner.h): the proxy journals every
+// mutation through storage::ProxyPersistence, is killed once the WAL reaches
+// the cell's record index, and is rebuilt from the newest valid snapshot
+// plus the WAL-tail replay. The sweep asserts the durability invariants:
+//
+//   1. persistence off and persistence on (no faults, no crash) produce the
+//      same read digest — journaling is behavior-invisible;
+//   2. with write-ahead syncs and no storage faults, the digest after
+//      (crash, recover, continue) equals the uninterrupted run's digest —
+//      recovery is exact;
+//   3. under batched syncs the crash loses at most the unsynced window;
+//   4. the write-ahead discipline never yields a duplicate user read, even
+//      when fsyncs fail (deliveries are refused, not lost track of);
+//   5. whatever the injected fault left on disk, fsck still finds a
+//      recoverable image (a valid snapshot or a repairable WAL).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "experiments/recovery_runner.h"
+
+using namespace waif;
+
+namespace {
+
+enum class SyncMode { kWriteAhead, kBatched };
+enum class FaultKind { kNone, kFsync, kTorn };
+
+struct RecoveryCell {
+  SyncMode sync = SyncMode::kWriteAhead;
+  std::uint64_t snapshot_interval = 64;
+  FaultKind fault = FaultKind::kNone;
+  double crash_fraction = 0.0;  // of the baseline's WAL record count; 0 = no crash
+};
+
+const char* sync_name(SyncMode mode) {
+  return mode == SyncMode::kWriteAhead ? "ahead" : "batch";
+}
+
+const char* fault_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kFsync: return "fsync";
+    case FaultKind::kTorn: return "torn";
+  }
+  return "?";
+}
+
+experiments::RecoveryPlan cell_plan(const RecoveryCell& cell,
+                                    const workload::ScenarioConfig& scenario,
+                                    std::uint64_t baseline_records) {
+  experiments::RecoveryPlan plan;
+  plan.scenario = scenario;
+  plan.persistence.snapshot_interval = cell.snapshot_interval;
+  if (cell.sync == SyncMode::kBatched) {
+    plan.persistence.sync_interval = 32;
+    plan.persistence.sync_on_forward = false;
+  }
+  switch (cell.fault) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kFsync:
+      plan.storage_fault.fsync_failure_probability = 0.2;
+      break;
+    case FaultKind::kTorn:
+      plan.storage_fault.torn_write_probability = 1.0;
+      plan.storage_fault.bit_flip_probability = 0.5;
+      break;
+  }
+  if (cell.crash_fraction > 0.0) {
+    plan.crash_at_record = static_cast<std::int64_t>(
+        cell.crash_fraction * static_cast<double>(baseline_records));
+  }
+  return plan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiments::ParallelRunner runner(bench::parse_jobs(
+      argc, argv,
+      "Durability chaos sweep — crash point x sync policy x snapshot "
+      "interval x injected storage fault over the persistent last-hop "
+      "proxy"));
+
+  workload::ScenarioConfig scenario = experiments::recovery_scenario();
+  scenario.horizon = 12 * kDay;
+
+  // The uninterrupted no-fault run: its digest is what every exact-tier
+  // cell must reproduce, and its record count is what the crash fractions
+  // index into. (Without faults the sync policy cannot change behavior, so
+  // one baseline covers both sync modes.)
+  experiments::RecoveryPlan base_plan;
+  base_plan.scenario = scenario;
+  const experiments::RecoveryOutcome baseline =
+      experiments::run_recovery_plan(base_plan);
+  WAIF_CHECK(baseline.records_logged > 0);
+  WAIF_CHECK(baseline.crashes == 0);
+
+  // Invariant 1: the persistence-off control reads identically.
+  experiments::RecoveryPlan off_plan = base_plan;
+  off_plan.persist = false;
+  const experiments::RecoveryOutcome off =
+      experiments::run_recovery_plan(off_plan);
+  WAIF_CHECK(off.read_digest == baseline.read_digest);
+  WAIF_CHECK(off.total_read == baseline.total_read);
+
+  const SyncMode sync_modes[] = {SyncMode::kWriteAhead, SyncMode::kBatched};
+  const std::uint64_t snapshot_intervals[] = {32, 256};
+  const FaultKind faults[] = {FaultKind::kNone, FaultKind::kFsync,
+                              FaultKind::kTorn};
+  const double crash_fractions[] = {0.0, 0.5};
+
+  std::vector<RecoveryCell> cells;
+  for (SyncMode sync : sync_modes) {
+    for (std::uint64_t snap : snapshot_intervals) {
+      for (FaultKind fault : faults) {
+        for (double crash : crash_fractions) {
+          cells.push_back(RecoveryCell{sync, snap, fault, crash});
+        }
+      }
+    }
+  }
+
+  const std::uint64_t records = baseline.records_logged;
+  const std::vector<experiments::RecoveryOutcome> results = runner.map(
+      cells.size(), [&cells, &scenario, records](std::size_t i) {
+        return experiments::run_recovery_plan(
+            cell_plan(cells[i], scenario, records));
+      });
+
+  metrics::Table table(
+      "Durability chaos sweep — crash-point recovery under sync policies, "
+      "snapshot intervals and storage faults\n(12-day three-topic runs; "
+      "ahead = write-ahead fsync per record, batch = 32-record sync window; "
+      "crash at half the baseline's WAL;\nΔreads vs the uninterrupted "
+      "no-fault run)",
+      "sync / snap / fault / crash",
+      {"reads", "Δreads", "dupes", "refused", "lost win", "replayed",
+       "repairs"});
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const RecoveryCell& cell = cells[i];
+    const experiments::RecoveryOutcome& result = results[i];
+    const bool crashed = result.crashes > 0;
+    const bool write_ahead = cell.sync == SyncMode::kWriteAhead;
+
+    // Invariant 5: the on-disk image is always recoverable.
+    WAIF_CHECK(result.fsck_recoverable);
+    // Invariant 2: write-ahead syncs + clean storage = exact recovery.
+    if (write_ahead && cell.fault == FaultKind::kNone) {
+      WAIF_CHECK(result.read_digest == baseline.read_digest);
+      WAIF_CHECK(result.total_read == baseline.total_read);
+      if (crashed) WAIF_CHECK(result.lost_window == 0);
+    }
+    // No crash + no fault is behavior-neutral for either sync policy.
+    if (!crashed && cell.fault == FaultKind::kNone) {
+      WAIF_CHECK(result.read_digest == baseline.read_digest);
+    }
+    // Invariant 3: a crash can only cost the unsynced window (each lost
+    // record hides at most one read of up to `max` events; the in-flight
+    // slack on either side of the crash instant adds two more windows).
+    if (crashed && cell.fault == FaultKind::kNone) {
+      const std::int64_t loss = static_cast<std::int64_t>(baseline.total_read) -
+                                static_cast<std::int64_t>(result.total_read);
+      WAIF_CHECK(loss <= static_cast<std::int64_t>(
+                             (result.lost_window + 2) *
+                             static_cast<std::uint64_t>(scenario.max)));
+    }
+    // Invariant 4: duplicates require losing a *forward* record, which the
+    // write-ahead discipline makes impossible — crash or no crash, faults
+    // or not. (Batched cells may legitimately re-deliver.)
+    if (write_ahead || !crashed) {
+      WAIF_CHECK(result.duplicate_user_reads == 0);
+    }
+    // A crash was actually injected where the cell asked for one.
+    if (cell.crash_fraction > 0.0) WAIF_CHECK(crashed);
+
+    char label[64];
+    std::snprintf(label, sizeof label, "%s / %3llu / %-5s / %.1f",
+                  sync_name(cell.sync),
+                  static_cast<unsigned long long>(cell.snapshot_interval),
+                  fault_name(cell.fault), cell.crash_fraction);
+    const std::int64_t delta = static_cast<std::int64_t>(result.total_read) -
+                               static_cast<std::int64_t>(baseline.total_read);
+    table.add_row(label,
+                  {static_cast<double>(result.total_read),
+                   static_cast<double>(delta),
+                   static_cast<double>(result.duplicate_user_reads),
+                   static_cast<double>(result.forward_refusals),
+                   static_cast<double>(result.lost_window),
+                   static_cast<double>(result.replayed),
+                   static_cast<double>(result.wal_repairs)});
+  }
+
+  bench::report_sweep(runner);
+  bench::emit(
+      table,
+      "all invariants held (the binary aborts otherwise). Write-ahead cells "
+      "with clean storage recover exactly (Δreads 0) at any crash point and "
+      "snapshot interval; batched cells lose at most the 32-record unsynced "
+      "window; fsync faults show up as refused deliveries, never as "
+      "duplicates; torn writes and bit flips are truncated away by the CRC "
+      "scan (repairs column) and the image stays recoverable.");
+  return 0;
+}

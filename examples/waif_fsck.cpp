@@ -1,0 +1,46 @@
+// waif_fsck: offline integrity check of a proxy storage directory.
+//
+// Points the read-only checker (storage/fsck.h) at a FileBackend directory
+// written by storage::ProxyPersistence and prints what a recovery would
+// find: valid WAL records, torn or CRC-damaged tails, which snapshot
+// checkpoints decode, and whether the newest snapshot's watermark is
+// consistent with the log.
+//
+// Exit status: 0 = clean, 1 = damaged but recoverable (a restart repairs
+// it by truncating the bad tail), 2 = unrecoverable inconsistency.
+//
+// Example:
+//   ./build/examples/waif_fsck --dir=/var/lib/waif/proxy-0
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/flags.h"
+#include "storage/backend.h"
+#include "storage/fsck.h"
+
+using namespace waif;
+
+int main(int argc, char** argv) {
+  std::string dir;
+  FlagSet flags(
+      "waif_fsck — read-only integrity check of a proxy storage directory "
+      "(WAL + snapshots).\nExit status: 0 clean, 1 recoverable damage, 2 "
+      "unrecoverable.");
+  flags.add_string("dir", &dir, "storage directory to check");
+  if (!flags.parse(argc - 1, argv + 1)) return 2;
+  if (dir.empty()) {
+    std::fprintf(stderr, "waif_fsck: --dir is required (see --help)\n");
+    return 2;
+  }
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "waif_fsck: no such directory: %s\n", dir.c_str());
+    return 2;
+  }
+
+  storage::FileBackend backend(dir);
+  const storage::FsckReport report = storage::waif_fsck(backend);
+  std::fputs(storage::format_report(report).c_str(), stdout);
+  if (report.clean()) return 0;
+  return report.recoverable() ? 1 : 2;
+}

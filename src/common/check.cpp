@@ -1,0 +1,19 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace waif::detail {
+
+void check_failed(const char* expr, const char* file, int line) {
+  // Drain any buffered log lines first: when a crash-point test kills the
+  // process here, the final records are what explain the failure.
+  flush_logging();
+  std::fprintf(stderr, "WAIF_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace waif::detail

@@ -6,15 +6,12 @@
 // validating user-supplied configuration (that throws std::invalid_argument).
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace waif::detail {
 
-[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
-  std::fprintf(stderr, "WAIF_CHECK failed: %s at %s:%d\n", expr, file, line);
-  std::abort();
-}
+/// Flushes the logging sink, prints the failed expression, and aborts.
+/// Out of line so the abort path can drain buffered diagnostics (crash-point
+/// and death tests rely on seeing the final log record).
+[[noreturn]] void check_failed(const char* expr, const char* file, int line);
 
 }  // namespace waif::detail
 

@@ -38,6 +38,18 @@ void FlagSet::add_int(const std::string& name, std::int64_t* target,
   add(Flag{name, Kind::kInt, target, help, std::to_string(*target)});
 }
 
+void FlagSet::add_int(const std::string& name, std::int64_t* target,
+                      const std::string& help, std::int64_t min_value,
+                      std::int64_t max_value) {
+  WAIF_CHECK(target != nullptr);
+  WAIF_CHECK(min_value <= max_value);
+  Flag flag{name, Kind::kInt, target, help, std::to_string(*target)};
+  flag.min_int = min_value;
+  flag.max_int = max_value;
+  flag.bounded = true;
+  add(std::move(flag));
+}
+
 void FlagSet::add_bool(const std::string& name, bool* target,
                        const std::string& help) {
   WAIF_CHECK(target != nullptr);
@@ -82,37 +94,82 @@ std::optional<SimDuration> FlagSet::parse_duration(const std::string& text) {
   return std::nullopt;
 }
 
-bool FlagSet::assign(const Flag& flag, const std::string& value) {
+std::optional<std::int64_t> FlagSet::parse_int(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t consumed = 0;
+  std::int64_t value = 0;
   try {
-    switch (flag.kind) {
-      case Kind::kDouble:
-        *static_cast<double*>(flag.target) = std::stod(value);
-        return true;
-      case Kind::kInt:
-        *static_cast<std::int64_t*>(flag.target) = std::stoll(value);
-        return true;
-      case Kind::kBool:
-        if (value == "true" || value == "1") {
-          *static_cast<bool*>(flag.target) = true;
-        } else if (value == "false" || value == "0") {
-          *static_cast<bool*>(flag.target) = false;
-        } else {
-          return false;
-        }
-        return true;
-      case Kind::kString:
-        *static_cast<std::string*>(flag.target) = value;
-        return true;
-      case Kind::kDuration: {
-        const auto parsed = parse_duration(value);
-        if (!parsed.has_value()) return false;
-        *static_cast<SimDuration*>(flag.target) = *parsed;
-        return true;
-      }
-    }
+    value = std::stoll(text, &consumed);
   } catch (const std::exception&) {
-    return false;
+    return std::nullopt;
   }
+  if (consumed != text.size()) return std::nullopt;  // trailing garbage
+  return value;
+}
+
+std::optional<double> FlagSet::parse_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (consumed != text.size()) return std::nullopt;  // trailing garbage
+  return value;
+}
+
+bool FlagSet::assign(const Flag& flag, const std::string& value,
+                     std::string* error) {
+  switch (flag.kind) {
+    case Kind::kDouble: {
+      const auto parsed = parse_double(value);
+      if (!parsed.has_value()) {
+        *error = "expected a number";
+        return false;
+      }
+      *static_cast<double*>(flag.target) = *parsed;
+      return true;
+    }
+    case Kind::kInt: {
+      const auto parsed = parse_int(value);
+      if (!parsed.has_value()) {
+        *error = "expected an integer";
+        return false;
+      }
+      if (flag.bounded && (*parsed < flag.min_int || *parsed > flag.max_int)) {
+        *error = "out of range [" + std::to_string(flag.min_int) + ", " +
+                 std::to_string(flag.max_int) + "]";
+        return false;
+      }
+      *static_cast<std::int64_t*>(flag.target) = *parsed;
+      return true;
+    }
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(flag.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(flag.target) = false;
+      } else {
+        *error = "expected true/false/1/0";
+        return false;
+      }
+      return true;
+    case Kind::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return true;
+    case Kind::kDuration: {
+      const auto parsed = parse_duration(value);
+      if (!parsed.has_value()) {
+        *error = "expected a duration like 30s, 4.2h, 250ms";
+        return false;
+      }
+      *static_cast<SimDuration*>(flag.target) = *parsed;
+      return true;
+    }
+  }
+  *error = "unsupported flag kind";
   return false;
 }
 
@@ -150,9 +207,10 @@ bool FlagSet::parse(int argc, const char* const* argv) {
         return false;
       }
     }
-    if (!assign(*flag, value)) {
-      std::fprintf(stderr, "bad value for --%s: '%s'\n", token.c_str(),
-                   value.c_str());
+    std::string error;
+    if (!assign(*flag, value, &error)) {
+      std::fprintf(stderr, "bad value for --%s: '%s' (%s)\n", token.c_str(),
+                   value.c_str(), error.c_str());
       return false;
     }
   }

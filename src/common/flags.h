@@ -24,6 +24,11 @@ class FlagSet {
                   const std::string& help);
   void add_int(const std::string& name, std::int64_t* target,
                const std::string& help);
+  /// Integer flag with an inclusive accepted range; values outside it are
+  /// rejected at parse time with a message naming the bounds.
+  void add_int(const std::string& name, std::int64_t* target,
+               const std::string& help, std::int64_t min_value,
+               std::int64_t max_value);
   void add_bool(const std::string& name, bool* target, const std::string& help);
   void add_string(const std::string& name, std::string* target,
                   const std::string& help);
@@ -42,6 +47,11 @@ class FlagSet {
   /// Parses a duration literal ("90s", "1.5h", ...); nullopt when malformed.
   static std::optional<SimDuration> parse_duration(const std::string& text);
 
+  /// Strict numeric literal parsers: the whole string must be consumed, so
+  /// trailing garbage ("8x", "3.5.2") is rejected rather than truncated.
+  static std::optional<std::int64_t> parse_int(const std::string& text);
+  static std::optional<double> parse_double(const std::string& text);
+
  private:
   enum class Kind : std::uint8_t { kDouble, kInt, kBool, kString, kDuration };
   struct Flag {
@@ -50,10 +60,14 @@ class FlagSet {
     void* target;
     std::string help;
     std::string default_text;
+    std::int64_t min_int = 0;
+    std::int64_t max_int = 0;
+    bool bounded = false;
   };
 
   const Flag* find(const std::string& name) const;
-  static bool assign(const Flag& flag, const std::string& value);
+  static bool assign(const Flag& flag, const std::string& value,
+                     std::string* error);
   void add(Flag flag);
 
   std::string description_;

@@ -56,4 +56,9 @@ void log_message(LogLevel level, SimTime when, const std::string& component,
   }
 }
 
+void flush_logging() {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fflush(stderr);
+}
+
 }  // namespace waif

@@ -29,4 +29,8 @@ bool log_enabled(LogLevel level);
 void log_message(LogLevel level, SimTime when, const std::string& component,
                  const std::string& message);
 
+/// Flushes the logging sink. Called by WAIF_CHECK before aborting so crash
+/// tests capture the final record even through a buffered stderr.
+void flush_logging();
+
 }  // namespace waif

@@ -6,6 +6,20 @@
 
 namespace waif {
 
+void AverageSnapshot::add(double sample, std::size_t window) {
+  samples.push_back(sample);
+  sum += sample;
+  if (samples.size() > window) {
+    sum -= samples.front();
+    samples.erase(samples.begin());
+  }
+}
+
+void IntervalSnapshot::add(double timestamp, std::size_t window) {
+  if (last.has_value()) diffs.add(timestamp - *last, window);
+  last = timestamp;
+}
+
 MovingAverage::MovingAverage(std::size_t window) : window_(window) {
   WAIF_CHECK(window > 0);
 }
@@ -29,6 +43,19 @@ void MovingAverage::reset() {
   sum_ = 0.0;
 }
 
+AverageSnapshot MovingAverage::snapshot() const {
+  return AverageSnapshot{{samples_.begin(), samples_.end()}, sum_};
+}
+
+void MovingAverage::restore(const AverageSnapshot& state) {
+  samples_.assign(state.samples.begin(), state.samples.end());
+  sum_ = state.sum;
+  while (samples_.size() > window_) {
+    sum_ -= samples_.front();
+    samples_.pop_front();
+  }
+}
+
 IntervalAverage::IntervalAverage(std::size_t window) : diffs_(window) {}
 
 void IntervalAverage::add(double timestamp) {
@@ -44,6 +71,15 @@ std::optional<double> IntervalAverage::value() const {
 void IntervalAverage::reset() {
   diffs_.reset();
   last_.reset();
+}
+
+IntervalSnapshot IntervalAverage::snapshot() const {
+  return IntervalSnapshot{diffs_.snapshot(), last_};
+}
+
+void IntervalAverage::restore(const IntervalSnapshot& state) {
+  diffs_.restore(state.diffs);
+  last_ = state.last;
 }
 
 Ewma::Ewma(double alpha) : alpha_(alpha) {

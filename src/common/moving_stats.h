@@ -9,8 +9,32 @@
 #include <cstddef>
 #include <deque>
 #include <optional>
+#include <vector>
 
 namespace waif {
+
+/// Value snapshot of a MovingAverage, suitable for serialization. `sum` is
+/// captured verbatim rather than recomputed: the rolling add/subtract in
+/// MovingAverage::add leaves a rounding residue that re-summing the retained
+/// samples would not reproduce, and recovery must restore the average
+/// bit-for-bit for replayed runs to stay byte-identical.
+struct AverageSnapshot {
+  std::vector<double> samples;
+  double sum = 0.0;
+
+  /// Mirrors MovingAverage::add exactly (same FP operation order) so WAL
+  /// replay can advance a snapshot without a live MovingAverage.
+  void add(double sample, std::size_t window);
+};
+
+/// Value snapshot of an IntervalAverage.
+struct IntervalSnapshot {
+  AverageSnapshot diffs;
+  std::optional<double> last;
+
+  /// Mirrors IntervalAverage::add.
+  void add(double timestamp, std::size_t window);
+};
 
 /// Arithmetic mean over the most recent `window` samples.
 class MovingAverage {
@@ -23,6 +47,11 @@ class MovingAverage {
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
   void reset();
+
+  std::size_t window() const { return window_; }
+  AverageSnapshot snapshot() const;
+  /// Replaces the retained samples with `state` (truncated to the window).
+  void restore(const AverageSnapshot& state);
 
  private:
   std::size_t window_;
@@ -42,6 +71,10 @@ class IntervalAverage {
   /// Mean interval; nullopt until two timestamps have been observed.
   std::optional<double> value() const;
   void reset();
+
+  std::size_t window() const { return diffs_.window(); }
+  IntervalSnapshot snapshot() const;
+  void restore(const IntervalSnapshot& state);
 
  private:
   MovingAverage diffs_;

@@ -1,5 +1,6 @@
 #include "core/proxy.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -19,6 +20,7 @@ TopicState& Proxy::add_topic(const std::string& topic, TopicConfig config) {
   if (!inserted) {
     throw std::invalid_argument("add_topic: topic already managed: " + topic);
   }
+  it->second->set_journal(journal_);
   return *it->second;
 }
 
@@ -34,6 +36,19 @@ TopicState* Proxy::topic(const std::string& topic) {
 const TopicState* Proxy::topic(const std::string& topic) const {
   auto it = topics_.find(topic);
   return it == topics_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Proxy::topic_names() const {
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& [topic, state] : topics_) names.push_back(topic);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void Proxy::set_journal(ProxyJournal* journal) {
+  journal_ = journal;
+  for (auto& [topic, state] : topics_) state->set_journal(journal);
 }
 
 void Proxy::attach_to_link(net::Link& link) {

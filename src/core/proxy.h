@@ -53,6 +53,14 @@ class Proxy final : public pubsub::Subscriber {
   TopicState* topic(const std::string& topic);
   const TopicState* topic(const std::string& topic) const;
   std::size_t topic_count() const { return topics_.size(); }
+  /// Names of every managed topic, sorted — the canonical iteration order
+  /// for snapshots and recovery.
+  std::vector<std::string> topic_names() const;
+
+  /// Attaches `journal` to every managed topic, present and future (nullptr
+  /// detaches). The journal pointer must outlive the proxy or be detached
+  /// first.
+  void set_journal(ProxyJournal* journal);
 
   /// Wires this proxy's NETWORK handler to the link's state changes.
   /// Call once at setup.
@@ -89,6 +97,7 @@ class Proxy final : public pubsub::Subscriber {
   std::string name_;
   // unique_ptr: TopicState is immovable (timers capture `this`).
   std::unordered_map<std::string, std::unique_ptr<TopicState>> topics_;
+  ProxyJournal* journal_ = nullptr;
   ProxyStats stats_;
 };
 

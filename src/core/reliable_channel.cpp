@@ -57,6 +57,36 @@ void ReliableDeviceChannel::set_delivery_observer(
   delivery_observer_ = std::move(observer);
 }
 
+void ReliableDeviceChannel::set_ack_observer(
+    std::function<void(const NotificationPtr&)> observer) {
+  ack_observer_ = std::move(observer);
+}
+
+ChannelSnapshot ReliableDeviceChannel::snapshot() const {
+  ChannelSnapshot snap;
+  snap.next_seq = next_seq_;
+  snap.seen.assign(seen_order_.begin(), seen_order_.end());
+  return snap;
+}
+
+void ReliableDeviceChannel::restore(const ChannelSnapshot& state) {
+  next_seq_ = std::max(next_seq_, state.next_seq);
+  for (std::uint64_t seq : state.seen) {
+    if (!seen_.insert(seq).second) continue;
+    seen_order_.push_back(seq);
+    if (seen_order_.size() > config_.dedup_window) {
+      seen_.erase(seen_order_.front());
+      seen_order_.pop_front();
+    }
+  }
+}
+
+void ReliableDeviceChannel::crash_proxy_side() {
+  for (auto& [seq, transfer] : in_flight_) transfer.timer.cancel();
+  in_flight_.clear();
+  backlog_.clear();
+}
+
 bool ReliableDeviceChannel::deliver(const NotificationPtr& notification) {
   ++stats_.accepted;
   if (in_flight_.size() >= config_.window) {
@@ -165,8 +195,10 @@ void ReliableDeviceChannel::on_ack(std::uint64_t seq) {
   auto it = in_flight_.find(seq);
   if (it == in_flight_.end()) return;  // late ACK after a give-up
   it->second.timer.cancel();
+  const NotificationPtr event = std::move(it->second.event);
   in_flight_.erase(it);
   ++stats_.acked;
+  if (ack_observer_) ack_observer_(event);
   admit_from_backlog();
 }
 

@@ -33,6 +33,7 @@
 #include "common/rng.h"
 #include "common/time.h"
 #include "core/channel.h"
+#include "core/snapshot.h"
 #include "device/device.h"
 #include "net/link.h"
 #include "pubsub/notification.h"
@@ -107,6 +108,29 @@ class ReliableDeviceChannel final : public DeviceChannel {
   void set_delivery_observer(
       std::function<void(const pubsub::NotificationPtr&)> observer);
 
+  /// Called when the proxy side receives the ACK completing a transfer —
+  /// the durability layer journals device ACKs here, so recovery can tell
+  /// confirmed deliveries from in-doubt ones.
+  void set_ack_observer(
+      std::function<void(const pubsub::NotificationPtr&)> observer);
+
+  /// Durable transport state: the sequence counter and the device-side
+  /// dedup window (see core/snapshot.h).
+  ChannelSnapshot snapshot() const;
+
+  /// Restores snapshot state into a fresh channel (no transfers admitted
+  /// yet). The sequence counter never goes backwards.
+  void restore(const ChannelSnapshot& state);
+
+  /// Models the proxy process dying while the channel object (and any
+  /// frames already in the air) survives: every in-flight transfer and the
+  /// backlog are dropped — their retry timers cancelled — while the
+  /// device-side dedup window and the sequence counter stay, exactly like a
+  /// connection teardown. Late arrivals still land on the device (and are
+  /// ACKed into the void); the recovered proxy re-drives delivery from its
+  /// own durable state.
+  void crash_proxy_side();
+
   bool link_up() const override { return link_.is_up(); }
 
   /// Admits one notification into the reliable pipeline. Returns true: the
@@ -152,6 +176,7 @@ class ReliableDeviceChannel final : public DeviceChannel {
   Rng rng_;
   std::function<void(const pubsub::NotificationPtr&)> failure_handler_;
   std::function<void(const pubsub::NotificationPtr&)> delivery_observer_;
+  std::function<void(const pubsub::NotificationPtr&)> ack_observer_;
 
   std::uint64_t next_seq_ = 1;
   // Ordered map: link-recovery retransmissions walk it in sequence order,

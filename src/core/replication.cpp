@@ -186,6 +186,9 @@ void ReplicatedProxy::restart_replica(std::size_t index) {
   for (const auto& [topic, config] : topic_configs_) {
     replica.proxy->add_topic(topic, config);
   }
+  // With a durability layer attached the replica catches up from
+  // snapshot+WAL instead of rejoining cold.
+  if (recovery_ != nullptr) recovery_->warm_restart(*replica.proxy);
   replica.alive = true;
   ++stats_.restarts;
   if (index == active_) {
@@ -203,6 +206,9 @@ void ReplicatedProxy::promote_standby() {
   active_ = survivor;
   ++stats_.failovers;
   last_active_heartbeat_ = sim_.now();
+  // Let the durability layer follow the active role (journal + snapshot the
+  // promoted replica) before it starts forwarding.
+  if (recovery_ != nullptr) recovery_->on_promoted(*replicas_[survivor].proxy);
   // The promoted replica starts forwarding immediately if the link allows;
   // anything the old active forwarded but did not replicate in time will be
   // sent again (duplicate receives on the device).

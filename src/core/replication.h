@@ -106,11 +106,18 @@ class ReplicatedProxy final : public pubsub::Subscriber {
   /// device's local queue only).
   void crash_active();
 
-  /// Brings a crashed replica back as a fresh, cold standby: a new Proxy
-  /// with the recorded topic configuration and empty queues. It re-warms
-  /// from the live notification feed; state the device already holds is
-  /// unknown to it until replication/reads teach it (the asynchrony price).
+  /// Brings a crashed replica back as a fresh standby: a new Proxy with the
+  /// recorded topic configuration. Without a recovery hook it rejoins cold
+  /// (empty queues, re-warming from the live feed); with set_recovery the
+  /// hook's warm_restart fills it from durable snapshot+WAL state first.
   void restart_replica(std::size_t index);
+
+  /// Wires a durability layer (storage::ProxyPersistence) into failover:
+  /// on_promoted runs when the standby takes the active role (so the journal
+  /// can follow the active replica), warm_restart runs inside
+  /// restart_replica after the topics are configured. Pass nullptr to
+  /// detach; the hook must outlive the proxy otherwise.
+  void set_recovery(ProxyRecovery* recovery) { recovery_ = recovery; }
 
   bool primary_is_active() const { return active_ == 0; }
   bool active_is_alive() const { return replicas_[active_].alive; }
@@ -189,6 +196,7 @@ class ReplicatedProxy final : public pubsub::Subscriber {
   /// Device-side log of offline reads per topic (survives failovers: it
   /// lives on the device, not on a proxy).
   std::map<std::string, std::vector<ReadRecord>> pending_sync_;
+  ProxyRecovery* recovery_ = nullptr;
   ReplicationStats stats_;
 };
 

@@ -39,7 +39,7 @@ TopicState::TopicState(sim::Simulator& sim, DeviceChannel& channel,
 }
 
 TopicState::~TopicState() {
-  for (auto& [id, timer] : expiration_timers_) timer.cancel();
+  for (auto& [id, armed] : expiration_timers_) armed.timer.cancel();
   for (auto& [id, delayed] : pending_delay_) delayed.timer.cancel();
   for (sim::EventHandle& timer : digest_timers_) timer.cancel();
   gate_wake_.cancel();
@@ -58,6 +58,7 @@ void TopicState::handle_notification(const NotificationPtr& event) {
   const bool was_known = known(event->id);
   if (was_known) ++stats_.rank_update_arrivals;
 
+  Placement placement;  // defaults to kDropped
   const double threshold = config_.options.threshold;
   if (event->rank < threshold) {
     if (was_known) {
@@ -73,6 +74,7 @@ void TopicState::handle_notification(const NotificationPtr& event) {
       }
       if (forwarded_.contains(event->id.value)) {
         outgoing_.insert(event);  // tell the client of the rank drop
+        placement.stage = JournalStage::kWithdrawn;
       } else {
         outgoing_.erase(event->id);  // don't bother the client
       }
@@ -84,6 +86,7 @@ void TopicState::handle_notification(const NotificationPtr& event) {
     if (config_.mode == DeliveryMode::kOnLine ||
         config_.policy.kind == PolicyKind::kOnline) {
       outgoing_.insert(event);  // send to client ASAP
+      placement.stage = JournalStage::kOutgoing;
     } else if (event->rank >= config_.refinements.interrupt_threshold &&
                !forwarded_.contains(event->id.value)) {
       // Hybrid model (Section 2.2): an on-demand topic interrupts for events
@@ -93,10 +96,13 @@ void TopicState::handle_notification(const NotificationPtr& event) {
       prefetch_.erase(event->id);
       outgoing_.insert(event);
       ++stats_.interrupts;
+      placement.stage = JournalStage::kInterrupt;
+      placement.exp_tracked = event->expires();
     } else {
-      if (!was_known || !refresh_known(event)) {
-        place_on_demand(event, was_known);
-      }
+      std::optional<Placement> refreshed;
+      if (was_known) refreshed = refresh_known(event);
+      placement = refreshed.has_value() ? *refreshed
+                                        : place_on_demand(event, was_known);
       if (config_.policy.kind == PolicyKind::kRatePrefetch && !was_known) {
         rate_credit_ += current_ratio();
       }
@@ -107,6 +113,17 @@ void TopicState::handle_notification(const NotificationPtr& event) {
     arrival_times_.add(to_seconds(sim_.now()));
   }
   record_history(event);  // record all events
+  if (journal_ != nullptr) {
+    EnqueueRecord record;
+    record.event = *event;
+    record.stage = placement.stage;
+    record.at = sim_.now();
+    record.release_at = placement.release_at;
+    record.fresh = !was_known;
+    record.exp_tracked = placement.exp_tracked;
+    record.rate_credit = rate_credit_;
+    journal_->on_enqueue(topic_, record);
+  }
   try_forwarding();
 }
 
@@ -121,61 +138,70 @@ void TopicState::arm_expiration_timer(const NotificationPtr& event) {
   // schedule(&expiration_timeout, event.expires, event)
   if (auto it = expiration_timers_.find(event->id.value);
       it != expiration_timers_.end()) {
-    it->second.cancel();
+    it->second.timer.cancel();
     expiration_timers_.erase(it);
   }
   const NotificationId id = event->id;
   expiration_timers_.emplace(
       id.value,
-      sim_.schedule_at(event->expires_at, [this, id] { on_expiration(id); }));
+      ExpirationTimer{
+          sim_.schedule_at(event->expires_at, [this, id] { on_expiration(id); }),
+          event->expires_at});
 }
 
-void TopicState::place_on_demand(const NotificationPtr& event, bool known_id) {
+TopicState::Placement TopicState::place_on_demand(const NotificationPtr& event,
+                                                  bool known_id) {
   track_expiration(event);
+  const bool exp_tracked = event->expires();
 
   const SimDuration threshold = effective_expiration_threshold();
   if (event->expires() &&
       event->remaining_lifetime(sim_.now()) < threshold) {
     holding_.insert(event);
     ++stats_.held;
-  } else if (config_.policy.delay > 0 && !known_id) {
+    return {JournalStage::kHolding, 0, exp_tracked};
+  }
+  if (config_.policy.delay > 0 && !known_id) {
     // Delay stage (Section 3.4): give rank drops time to arrive before the
     // event becomes prefetchable.
     const NotificationId id = event->id;
+    const SimTime release_at = sim_.now() + config_.policy.delay;
     auto timer = sim_.schedule_after(config_.policy.delay,
                                      [this, id] { on_delay_elapsed(id); });
-    pending_delay_.insert_or_assign(id.value,
-                                    DelayedEvent{event, std::move(timer)});
+    pending_delay_.insert_or_assign(
+        id.value, DelayedEvent{event, std::move(timer), release_at});
     ++stats_.delayed;
-  } else {
-    prefetch_.insert(event);
+    return {JournalStage::kDelay, release_at, exp_tracked};
   }
+  prefetch_.insert(event);
+  return {JournalStage::kPrefetch, 0, exp_tracked};
 }
 
-bool TopicState::refresh_known(const NotificationPtr& event) {
+std::optional<TopicState::Placement> TopicState::refresh_known(
+    const NotificationPtr& event) {
   if (outgoing_.contains(event->id)) {
     outgoing_.insert(event);  // replace with the re-ranked copy
-    return true;
+    return Placement{JournalStage::kOutgoing, 0, false};
   }
   if (holding_.contains(event->id)) {
     holding_.insert(event);
-    return true;
+    return Placement{JournalStage::kHolding, 0, false};
   }
   if (prefetch_.contains(event->id)) {
     prefetch_.insert(event);
-    return true;
+    return Placement{JournalStage::kPrefetch, 0, false};
   }
   if (auto it = pending_delay_.find(event->id.value);
       it != pending_delay_.end()) {
     it->second.event = event;  // the delay stage will release the new copy
-    return true;
+    return Placement{JournalStage::kDelay, it->second.release_at, false};
   }
   if (forwarded_.contains(event->id.value)) {
     // Already on the device: push the new rank so the device reorders.
     outgoing_.insert(event);
-    return true;
+    return Placement{JournalStage::kOutgoing, 0, false};
   }
-  return false;  // known id, but expired/garbage-collected: place afresh
+  return std::nullopt;  // known id, but expired/garbage-collected: place afresh
 }
 
 // ----------------------------------------------------------------------- READ
@@ -193,6 +219,10 @@ std::vector<NotificationPtr> TopicState::handle_read(const ReadRequest& request)
     // forwarding pass is all that is still needed.
     ++stats_.duplicate_reads;
     queue_size_view_ = request.queue_size;
+    if (journal_ != nullptr) {
+      journal_->on_read(topic_, request.request_id, request.n,
+                        request.queue_size, sim_.now());
+    }
     try_forwarding();
     return {};
   }
@@ -251,10 +281,22 @@ std::vector<NotificationPtr> TopicState::handle_read(const ReadRequest& request)
   // q.outgoing ← q.outgoing ∪ difference. We also remove the events from
   // prefetch/holding so a later prefetch pass cannot transfer them twice
   // (the pseudo-code's set notation leaves them behind).
+  if (journal_ != nullptr) {
+    journal_->on_read(topic_, request.request_id, request.n,
+                      request.queue_size, sim_.now());
+  }
   for (const NotificationPtr& event : difference) {
     prefetch_.erase(event->id);
     holding_.erase(event->id);
     outgoing_.insert(event);
+    if (journal_ != nullptr) {
+      EnqueueRecord record;
+      record.event = *event;
+      record.stage = JournalStage::kReadDifference;
+      record.at = sim_.now();
+      record.rate_credit = rate_credit_;
+      journal_->on_enqueue(topic_, record);
+    }
   }
   stats_.read_difference_forwards += difference.size();
 
@@ -271,6 +313,9 @@ void TopicState::handle_sync(std::size_t queue_size,
     // offline-read log trains the averages exactly once.
     ++stats_.duplicate_syncs;
     queue_size_view_ = queue_size;
+    if (journal_ != nullptr) {
+      journal_->on_sync(topic_, queue_size, sync_id, offline_reads, sim_.now());
+    }
     try_forwarding();
     return;
   }
@@ -279,6 +324,9 @@ void TopicState::handle_sync(std::size_t queue_size,
     read_times_.add(to_seconds(record.time));
   }
   queue_size_view_ = queue_size;
+  if (journal_ != nullptr) {
+    journal_->on_sync(topic_, queue_size, sync_id, offline_reads, sim_.now());
+  }
   try_forwarding();
 }
 
@@ -333,6 +381,19 @@ bool TopicState::do_forward(const NotificationPtr& event,
                             std::uint64_t TopicStats::* counter) {
   if (event->expired_at(sim_.now())) {
     ++stats_.expired_at_proxy;
+    return false;
+  }
+  if (journal_ != nullptr &&
+      !journal_->on_forward(topic_, event, sim_.now(), rate_credit_,
+                            /*replicated=*/false)) {
+    // The write-ahead record could not be made durable. Delivering anyway
+    // would let a recovered proxy — which never learns of this transfer —
+    // re-send the event, a duplicate. Park it in holding instead, where an
+    // explicit read can still pull it (bounded loss, never duplication).
+    ++stats_.forward_aborts;
+    arm_expiration_timer(event);
+    holding_.insert(event);
+    ++stats_.held;
     return false;
   }
   const bool repeat = forwarded_.contains(event->id.value);
@@ -416,6 +477,12 @@ void TopicState::schedule_digest(SimDuration time_of_day) {
 }
 
 void TopicState::apply_replicated_forward(const NotificationPtr& event) {
+  if (journal_ != nullptr) {
+    // The peer already delivered; the transfer cannot be aborted, so a
+    // failed fsync here only widens the bounded-loss window.
+    (void)journal_->on_forward(topic_, event, sim_.now(), rate_credit_,
+                               /*replicated=*/true);
+  }
   outgoing_.erase(event->id);
   prefetch_.erase(event->id);
   holding_.erase(event->id);
@@ -431,6 +498,7 @@ void TopicState::apply_replicated_forward(const NotificationPtr& event) {
 
 void TopicState::requeue_undelivered(const NotificationPtr& event) {
   ++stats_.requeued_undelivered;
+  if (journal_ != nullptr) journal_->on_requeue(topic_, event, sim_.now());
   // Reverse do_forward's bookkeeping: the transfer never completed, so the
   // event is not on the device and occupies no device queue slot.
   forwarded_.erase(event->id.value);
@@ -452,6 +520,9 @@ void TopicState::requeue_undelivered(const NotificationPtr& event) {
 
 void TopicState::on_expiration(NotificationId id) {
   expiration_timers_.erase(id.value);
+  if (journal_ != nullptr) {
+    journal_->on_expire(topic_, id, /*timer_fired=*/true, sim_.now());
+  }
   bool removed = false;
   removed |= holding_.erase(id) != nullptr;
   removed |= prefetch_.erase(id) != nullptr;
@@ -471,9 +542,20 @@ void TopicState::on_delay_elapsed(NotificationId id) {
   pending_delay_.erase(it);
   if (event->expired_at(sim_.now())) {
     ++stats_.expired_at_proxy;
+    if (journal_ != nullptr) {
+      journal_->on_expire(topic_, id, /*timer_fired=*/false, sim_.now());
+    }
     return;
   }
   prefetch_.insert(event);
+  if (journal_ != nullptr) {
+    EnqueueRecord record;
+    record.event = *event;
+    record.stage = JournalStage::kDelayRelease;
+    record.at = sim_.now();
+    record.rate_credit = rate_credit_;
+    journal_->on_enqueue(topic_, record);
+  }
   try_forwarding();
 }
 
@@ -562,6 +644,116 @@ std::optional<double> TopicState::history_rank(NotificationId id) const {
   auto it = history_.find(id.value);
   if (it == history_.end()) return std::nullopt;
   return it->second->rank;
+}
+
+// ---------------------------------------------------------- snapshot/restore
+
+TopicSnapshot TopicState::snapshot() const {
+  TopicSnapshot snap;
+  const auto copy_queue = [](const RankedQueue& queue,
+                             std::vector<pubsub::Notification>& out) {
+    out.reserve(queue.size());
+    for (const NotificationPtr& event : queue) out.push_back(*event);
+  };
+  copy_queue(outgoing_, snap.outgoing);
+  copy_queue(prefetch_, snap.prefetch);
+  copy_queue(holding_, snap.holding);
+
+  snap.delayed.reserve(pending_delay_.size());
+  for (const auto& [id, delayed] : pending_delay_) {
+    snap.delayed.push_back({*delayed.event, delayed.release_at});
+  }
+  std::sort(snap.delayed.begin(), snap.delayed.end(),
+            [](const DelayedSnapshot& a, const DelayedSnapshot& b) {
+              return a.event.id.value < b.event.id.value;
+            });
+
+  snap.history.reserve(history_order_.size());
+  for (std::uint64_t id : history_order_) {
+    snap.history.push_back(*history_.at(id));
+  }
+
+  snap.forwarded.assign(forwarded_.begin(), forwarded_.end());
+  std::sort(snap.forwarded.begin(), snap.forwarded.end());
+
+  snap.expiration_armed.reserve(expiration_timers_.size());
+  for (const auto& [id, armed] : expiration_timers_) {
+    snap.expiration_armed.push_back({id, armed.expires_at});
+  }
+  std::sort(snap.expiration_armed.begin(), snap.expiration_armed.end(),
+            [](const ArmedExpiration& a, const ArmedExpiration& b) {
+              return a.id < b.id;
+            });
+
+  snap.seen_read_ids.assign(seen_read_ids_.begin(), seen_read_ids_.end());
+  std::sort(snap.seen_read_ids.begin(), snap.seen_read_ids.end());
+  snap.seen_sync_ids.assign(seen_sync_ids_.begin(), seen_sync_ids_.end());
+  std::sort(snap.seen_sync_ids.begin(), snap.seen_sync_ids.end());
+
+  snap.old_reads = old_reads_.snapshot();
+  snap.read_times = read_times_.snapshot();
+  snap.exp_times = exp_times_.snapshot();
+  snap.arrival_times = arrival_times_.snapshot();
+  snap.queue_size_view = queue_size_view_;
+  snap.rate_credit = rate_credit_;
+  snap.current_day = current_day_;
+  snap.forwarded_today = forwarded_today_;
+  return snap;
+}
+
+void TopicState::restore(const TopicSnapshot& state) {
+  // Only a freshly constructed TopicState may be restored into.
+  WAIF_CHECK(stats_.arrivals == 0 && history_.empty() && outgoing_.empty() &&
+             forwarded_.empty());
+
+  const auto fill_queue = [](const std::vector<pubsub::Notification>& in,
+                             RankedQueue& queue) {
+    for (const pubsub::Notification& event : in) {
+      queue.insert(std::make_shared<const pubsub::Notification>(event));
+    }
+  };
+  fill_queue(state.outgoing, outgoing_);
+  fill_queue(state.prefetch, prefetch_);
+  fill_queue(state.holding, holding_);
+
+  for (const DelayedSnapshot& delayed : state.delayed) {
+    auto event = std::make_shared<const pubsub::Notification>(delayed.event);
+    const NotificationId id = event->id;
+    // A release instant that passed while the proxy was down fires now.
+    const SimTime release = std::max(delayed.release_at, sim_.now());
+    auto timer = sim_.schedule_at(release, [this, id] { on_delay_elapsed(id); });
+    pending_delay_.insert_or_assign(
+        id.value,
+        DelayedEvent{std::move(event), std::move(timer), delayed.release_at});
+  }
+
+  for (const pubsub::Notification& event : state.history) {
+    record_history(std::make_shared<const pubsub::Notification>(event));
+  }
+
+  forwarded_.insert(state.forwarded.begin(), state.forwarded.end());
+
+  for (const ArmedExpiration& armed : state.expiration_armed) {
+    const NotificationId id{armed.id};
+    const SimTime when = std::max(armed.expires_at, sim_.now());
+    expiration_timers_.insert_or_assign(
+        armed.id,
+        ExpirationTimer{
+            sim_.schedule_at(when, [this, id] { on_expiration(id); }),
+            armed.expires_at});
+  }
+
+  seen_read_ids_.insert(state.seen_read_ids.begin(), state.seen_read_ids.end());
+  seen_sync_ids_.insert(state.seen_sync_ids.begin(), state.seen_sync_ids.end());
+
+  old_reads_.restore(state.old_reads);
+  read_times_.restore(state.read_times);
+  exp_times_.restore(state.exp_times);
+  arrival_times_.restore(state.arrival_times);
+  queue_size_view_ = static_cast<std::size_t>(state.queue_size_view);
+  rate_credit_ = state.rate_credit;
+  current_day_ = state.current_day;
+  forwarded_today_ = static_cast<std::size_t>(state.forwarded_today);
 }
 
 }  // namespace waif::core

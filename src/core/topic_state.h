@@ -28,13 +28,18 @@
 #include "common/time.h"
 #include "core/channel.h"
 #include "core/forwarding_policy.h"
+#include "core/journal.h"
 #include "core/ranked_queue.h"
 #include "core/read_protocol.h"
+#include "core/snapshot.h"
 #include "net/link.h"
 #include "pubsub/notification.h"
 #include "sim/simulator.h"
 
 namespace waif::core {
+
+/// Default bound on the per-topic history ("garbage collection" limit).
+inline constexpr std::size_t kDefaultHistoryLimit = 1 << 16;
 
 struct TopicStats {
   std::uint64_t arrivals = 0;              // NOTIFICATION invocations
@@ -57,12 +62,13 @@ struct TopicStats {
   std::uint64_t requeued_undelivered = 0;  // transport gave up; back to holding
   std::uint64_t duplicate_reads = 0;       // retried READs absorbed by id
   std::uint64_t duplicate_syncs = 0;       // retried syncs absorbed by id
+  std::uint64_t forward_aborts = 0;        // journal refused (failed fsync)
 };
 
 class TopicState {
  public:
   TopicState(sim::Simulator& sim, DeviceChannel& channel, std::string topic,
-             TopicConfig config, std::size_t history_limit = 1 << 16);
+             TopicConfig config, std::size_t history_limit = kDefaultHistoryLimit);
 
   TopicState(const TopicState&) = delete;
   TopicState& operator=(const TopicState&) = delete;
@@ -74,6 +80,22 @@ class TopicState {
   const std::string& topic() const { return topic_; }
   const TopicConfig& config() const { return config_; }
   const TopicStats& stats() const { return stats_; }
+
+  /// Attaches (or detaches, with nullptr) a durability journal. With no
+  /// journal the behaviour is bit-identical to a build without one.
+  void set_journal(ProxyJournal* journal) { journal_ = journal; }
+
+  /// Captures the full durable state (see core/snapshot.h).
+  TopicSnapshot snapshot() const;
+
+  /// Fills a freshly constructed TopicState from a snapshot: rebuilds the
+  /// queues, history, averages and day budget, and re-arms the recorded
+  /// expiration timers (instants already in the past are clamped to now and
+  /// fire immediately, purging entries that expired while the proxy was
+  /// down). Does not forward anything — the caller drives handle_network/
+  /// try_forwarding once wiring is complete. Must be called before any
+  /// other entry point.
+  void restore(const TopicSnapshot& state);
 
   // --- the paper's three main routines -------------------------------------
 
@@ -155,11 +177,24 @@ class TopicState {
   struct DelayedEvent {
     pubsub::NotificationPtr event;  // latest copy (rank updates refresh it)
     sim::EventHandle timer;
+    SimTime release_at = 0;
+  };
+
+  struct ExpirationTimer {
+    sim::EventHandle timer;
+    SimTime expires_at = 0;
+  };
+
+  /// Where handle_notification left an event, for the journal.
+  struct Placement {
+    JournalStage stage = JournalStage::kDropped;
+    SimTime release_at = 0;
+    bool exp_tracked = false;
   };
 
   /// Fresh or re-ranked event with rank >= threshold on an on-demand topic:
   /// route through expiration check -> delay stage -> prefetch queue.
-  void place_on_demand(const pubsub::NotificationPtr& event, bool known);
+  Placement place_on_demand(const pubsub::NotificationPtr& event, bool known);
 
   /// Resets the daily delivery budget when the day rolls over.
   void roll_day();
@@ -176,9 +211,9 @@ class TopicState {
 
   /// A known event was re-ranked (still above threshold): refresh whichever
   /// stage holds it, or notify the device if it was already forwarded.
-  /// Returns false when the event is in no stage (fall through to fresh
+  /// Returns nullopt when the event is in no stage (fall through to fresh
   /// placement).
-  bool refresh_known(const pubsub::NotificationPtr& event);
+  std::optional<Placement> refresh_known(const pubsub::NotificationPtr& event);
 
   /// expiration_timeout(event): purge an expired event from every queue.
   void on_expiration(NotificationId id);
@@ -213,7 +248,7 @@ class TopicState {
   /// topic.forwarded: ids ever sent to the device.
   std::unordered_set<std::uint64_t> forwarded_;
   /// Pending expiration timers, cancelled when an event leaves all queues.
-  std::unordered_map<std::uint64_t, sim::EventHandle> expiration_timers_;
+  std::unordered_map<std::uint64_t, ExpirationTimer> expiration_timers_;
   /// READ/sync ids already processed (idempotence under retransmission).
   std::unordered_set<std::uint64_t> seen_read_ids_;
   std::unordered_set<std::uint64_t> seen_sync_ids_;
@@ -233,6 +268,7 @@ class TopicState {
   sim::EventHandle gate_wake_;
   std::vector<sim::EventHandle> digest_timers_;
 
+  ProxyJournal* journal_ = nullptr;
   TopicStats stats_;
 };
 

@@ -1,0 +1,106 @@
+// Crash-point recovery harness: one deterministic last-hop run whose proxy
+// journals every mutation through storage::ProxyPersistence, is killed when
+// the WAL reaches a chosen record index, and is rebuilt from the durable
+// state (newest valid snapshot + WAL-tail replay) to continue the run.
+//
+// The harness drives three topics with deliberately different configurations
+// so a crash exercises every journal stage: an adaptive on-demand topic with
+// a rank-change delay stage, a buffer-prefetch topic with an expiration
+// threshold (holding queue) and an interrupt refinement, and an on-line
+// topic with a per-day delivery cap. The device, the link schedule and the
+// arrival/read traces live outside the proxy and survive the crash — exactly
+// the paper's deployment, where only the fixed-infrastructure agent dies.
+//
+// What it proves (see run_recovery_plan):
+//   - with sync-every-record persistence and no storage faults, the read
+//     digest of (run, crash at record N, recover, continue) equals the
+//     uninterrupted run's digest for EVERY N — recovery is exact;
+//   - under batched syncs or injected storage faults the run may lose at
+//     most the unflushed window and never delivers an expired notification;
+//     as long as the write-ahead discipline stays on (sync_on_forward, the
+//     forward record durable before the device can see the event) and
+//     in-doubt events are trusted, it also never delivers a duplicate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "storage/fault.h"
+#include "storage/persistence.h"
+#include "workload/scenario.h"
+
+namespace waif::experiments {
+
+/// One recovery experiment: workload, persistence policy, injected storage
+/// faults and the crash point.
+struct RecoveryPlan {
+  /// Base workload knobs (horizon, volume limits, outage fraction); the
+  /// three topics derive per-topic variants from it. Rank changes are
+  /// always disabled so any duplicate user read is a recovery bug.
+  workload::ScenarioConfig scenario;
+  std::uint64_t seed = 1;
+
+  /// Journal at all? Off = the exact pre-persistence code path (the
+  /// byte-identity control for the existing benches).
+  bool persist = true;
+  storage::PersistenceConfig persistence;
+
+  /// Storage fault injection (torn writes, bit flips, failed fsyncs).
+  storage::StorageFaultConfig storage_fault;
+  std::uint64_t storage_fault_seed = 0xD15C;
+
+  /// Kill the proxy once the WAL holds this many records; -1 = never.
+  std::int64_t crash_at_record = -1;
+  /// Downtime between the crash and the rebuilt proxy coming back.
+  SimDuration restart_delay = 0;
+
+  /// Run the last hop over the reliable transport (ACKs journaled, in-doubt
+  /// events resolved by `unacked`) instead of fire-and-forget.
+  bool reliable_channel = false;
+  storage::RecoverUnacked unacked = storage::RecoverUnacked::kTrustForwarded;
+};
+
+/// Everything measured in one recovery run.
+struct RecoveryOutcome {
+  /// Canonical digest over every user read (instant, topic, sorted ids) —
+  /// the byte-level identity check between crashed and uninterrupted runs.
+  std::uint64_t read_digest = 0;
+  std::uint64_t total_read = 0;
+  std::uint64_t read_operations = 0;
+  /// User reads returning an id this user already read. Rank changes are
+  /// disabled, so in a correct run this is zero — crash or no crash.
+  std::uint64_t duplicate_user_reads = 0;
+  /// Deliveries handed to the channel past their expiration (asserted 0).
+  std::uint64_t expired_deliveries = 0;
+
+  std::uint64_t records_logged = 0;     // WAL records at the horizon
+  std::uint64_t records_recovered = 0;  // valid WAL records at recovery
+  std::uint64_t replayed = 0;           // records replayed past the snapshot
+  std::uint64_t crashes = 0;
+  bool recovered_from_snapshot = false;
+  std::uint64_t snapshots = 0;          // checkpoints made durable
+  std::uint64_t damaged_snapshots = 0;  // snapshots rejected at recovery
+  std::uint64_t wal_repairs = 0;        // damaged WAL tails truncated
+  /// Unsynced records discarded by the crash — the bounded loss window.
+  std::uint64_t lost_window = 0;
+  /// Deliveries refused because the write-ahead fsync failed.
+  std::uint64_t forward_refusals = 0;
+  storage::StorageFaultStats storage_faults;
+  bool fsck_recoverable = true;
+};
+
+/// The three topic names of the recovery scenario.
+std::vector<std::string> recovery_topics();
+
+/// The canonical base scenario for recovery experiments: outage-laced,
+/// expiration-heavy, small enough that a crash-point sweep over every record
+/// index stays cheap. Callers adjust `horizon` (and anything else) freely.
+workload::ScenarioConfig recovery_scenario();
+
+/// Runs one plan start to finish and returns the measurements. Aborts (via
+/// WAIF_CHECK) if an expired notification ever reaches the channel.
+RecoveryOutcome run_recovery_plan(const RecoveryPlan& plan);
+
+}  // namespace waif::experiments

@@ -1,0 +1,213 @@
+#include "storage/backend.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/check.h"
+
+namespace waif::storage {
+
+namespace fs = std::filesystem;
+
+// --- MemBackend --------------------------------------------------------------
+
+std::vector<std::string> MemBackend::list() const {
+  std::vector<std::string> names;
+  names.reserve(blobs_.size());
+  for (const auto& [name, blob] : blobs_) names.push_back(name);
+  return names;
+}
+
+bool MemBackend::exists(const std::string& name) const {
+  return blobs_.contains(name);
+}
+
+bool MemBackend::read(const std::string& name,
+                      std::vector<std::uint8_t>* out) const {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) return false;
+  *out = it->second.data;
+  return true;
+}
+
+void MemBackend::write(const std::string& name,
+                       const std::vector<std::uint8_t>& data) {
+  Blob& blob = blobs_[name];
+  blob.data = data;
+  // A full rewrite invalidates the old durable prefix: nothing of the new
+  // content is on disk until the next successful sync.
+  blob.durable = 0;
+}
+
+void MemBackend::append(const std::string& name,
+                        const std::vector<std::uint8_t>& data) {
+  Blob& blob = blobs_[name];
+  blob.data.insert(blob.data.end(), data.begin(), data.end());
+}
+
+bool MemBackend::sync(const std::string& name) {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) return true;  // nothing to make durable
+  if (fault_ != nullptr && !fault_->sync_passes()) return false;
+  it->second.durable = it->second.data.size();
+  it->second.ever_synced = true;
+  return true;
+}
+
+void MemBackend::truncate(const std::string& name, std::size_t size) {
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) return;
+  Blob& blob = it->second;
+  if (blob.data.size() <= size) return;
+  blob.data.resize(size);
+  blob.durable = std::min(blob.durable, size);
+}
+
+void MemBackend::remove(const std::string& name) { blobs_.erase(name); }
+
+void MemBackend::crash() {
+  for (auto it = blobs_.begin(); it != blobs_.end();) {
+    Blob& blob = it->second;
+    const std::size_t unsynced = blob.data.size() - blob.durable;
+    std::size_t surviving = 0;
+    if (unsynced > 0 && fault_ != nullptr) {
+      surviving = fault_->surviving_tail(unsynced);
+      std::size_t bit = 0;
+      if (fault_->draw_bit_flip(surviving, &bit)) {
+        blob.data[blob.durable + bit / 8] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    }
+    blob.data.resize(blob.durable + surviving);
+    blob.durable = blob.data.size();
+    if (blob.data.empty() && !blob.ever_synced) {
+      // The file never reached the directory: after the crash it is gone.
+      it = blobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t MemBackend::durable_size(const std::string& name) const {
+  auto it = blobs_.find(name);
+  return it == blobs_.end() ? 0 : it->second.durable;
+}
+
+std::size_t MemBackend::size(const std::string& name) const {
+  auto it = blobs_.find(name);
+  return it == blobs_.end() ? 0 : it->second.data.size();
+}
+
+// --- FileBackend -------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& data,
+                const char* mode) {
+  std::FILE* file = std::fopen(path.c_str(), mode);
+  if (file == nullptr) throw_errno("cannot open", path);
+  if (!data.empty() &&
+      std::fwrite(data.data(), 1, data.size(), file) != data.size()) {
+    std::fclose(file);
+    throw_errno("short write to", path);
+  }
+  if (std::fclose(file) != 0) throw_errno("cannot close", path);
+}
+
+}  // namespace
+
+FileBackend::FileBackend(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create storage directory " + dir_ + ": " +
+                             ec.message());
+  }
+}
+
+std::string FileBackend::path_of(const std::string& name) const {
+  WAIF_CHECK(name.find('/') == std::string::npos);  // flat namespace only
+  return dir_ + "/" + name;
+}
+
+std::vector<std::string> FileBackend::list() const {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool FileBackend::exists(const std::string& name) const {
+  return fs::exists(path_of(name));
+}
+
+bool FileBackend::read(const std::string& name,
+                       std::vector<std::uint8_t>* out) const {
+  const std::string path = path_of(name);
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  out->clear();
+  std::uint8_t buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    out->insert(out->end(), buffer, buffer + got);
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) throw_errno("cannot read", path);
+  return true;
+}
+
+void FileBackend::write(const std::string& name,
+                        const std::vector<std::uint8_t>& data) {
+  write_file(path_of(name), data, "wb");
+}
+
+void FileBackend::append(const std::string& name,
+                         const std::vector<std::uint8_t>& data) {
+  write_file(path_of(name), data, "ab");
+}
+
+bool FileBackend::sync(const std::string& name) {
+  if (fault_ != nullptr && !fault_->sync_passes()) return false;
+  const std::string path = path_of(name);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_errno("cannot open for fsync", path);
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+void FileBackend::truncate(const std::string& name, std::size_t size) {
+  const std::string path = path_of(name);
+  std::error_code ec;
+  const auto current = fs::file_size(path, ec);
+  if (ec || current <= size) return;
+  fs::resize_file(path, size, ec);
+  if (ec) {
+    throw std::runtime_error("cannot truncate " + path + ": " + ec.message());
+  }
+}
+
+void FileBackend::remove(const std::string& name) {
+  std::error_code ec;
+  fs::remove(path_of(name), ec);
+}
+
+}  // namespace waif::storage

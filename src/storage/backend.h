@@ -1,0 +1,130 @@
+// Pluggable blob storage for the durability layer.
+//
+// A StorageBackend is a flat namespace of named byte blobs (the WAL, the
+// snapshot files) with an explicit durability boundary: append() and
+// write() land in a volatile cache, and only sync() moves the boundary —
+// exactly the contract POSIX gives a process via write(2)+fsync(2).
+//
+// Two implementations:
+//   * MemBackend — the in-simulation backend. It tracks the durable prefix
+//     of every blob and models a machine crash (crash()): unsynced bytes
+//     vanish, or — under a StorageFaultModel — partially survive as a torn
+//     tail, possibly with a flipped bit. Deterministic, no I/O.
+//   * FileBackend — a real directory of files with real fsync, so the same
+//     recovery code can be exercised against an actual filesystem (and so
+//     waif_fsck has something to check outside the simulator).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/fault.h"
+
+namespace waif::storage {
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// Blob names, sorted (deterministic iteration).
+  virtual std::vector<std::string> list() const = 0;
+  virtual bool exists(const std::string& name) const = 0;
+  /// Reads the whole blob; false if it does not exist.
+  virtual bool read(const std::string& name,
+                    std::vector<std::uint8_t>* out) const = 0;
+  /// Replaces the blob (creates it if absent). Not durable until sync().
+  virtual void write(const std::string& name,
+                     const std::vector<std::uint8_t>& data) = 0;
+  /// Appends to the blob (creates it if absent). Not durable until sync().
+  virtual void append(const std::string& name,
+                      const std::vector<std::uint8_t>& data) = 0;
+  /// Makes every byte of the blob durable. Returns false when the fsync
+  /// failed — the durability boundary did not move and the caller must not
+  /// act as if it had.
+  virtual bool sync(const std::string& name) = 0;
+  /// Truncates the blob to `size` bytes (used by recovery to repair a torn
+  /// WAL tail). No-op if the blob is already at most that long.
+  virtual void truncate(const std::string& name, std::size_t size) = 0;
+  virtual void remove(const std::string& name) = 0;
+};
+
+/// Deterministic in-memory backend with crash semantics.
+class MemBackend final : public StorageBackend {
+ public:
+  MemBackend() = default;
+
+  /// Attaches a fault model; sync failures, torn tails and bit flips are
+  /// drawn from it. nullptr (the default) = perfect hardware. The model
+  /// must outlive the backend.
+  void set_fault_model(StorageFaultModel* model) { fault_ = model; }
+
+  std::vector<std::string> list() const override;
+  bool exists(const std::string& name) const override;
+  bool read(const std::string& name,
+            std::vector<std::uint8_t>* out) const override;
+  void write(const std::string& name,
+             const std::vector<std::uint8_t>& data) override;
+  void append(const std::string& name,
+              const std::vector<std::uint8_t>& data) override;
+  bool sync(const std::string& name) override;
+  void truncate(const std::string& name, std::size_t size) override;
+  void remove(const std::string& name) override;
+
+  /// Models the machine dying. For every blob the unsynced tail is
+  /// discarded — unless the fault model keeps a torn prefix of it, possibly
+  /// with one bit flipped. A blob with no durable bytes left disappears
+  /// entirely (the file never reached the directory). Whatever survives is
+  /// then durable: the next incarnation starts from it.
+  void crash();
+
+  /// Bytes of `name` guaranteed to survive a crash (0 if absent).
+  std::size_t durable_size(const std::string& name) const;
+  /// Total size of `name` including unsynced bytes (0 if absent).
+  std::size_t size(const std::string& name) const;
+
+ private:
+  struct Blob {
+    std::vector<std::uint8_t> data;
+    std::size_t durable = 0;     // prefix guaranteed to survive a crash
+    bool ever_synced = false;    // has any sync() succeeded for this blob?
+  };
+
+  std::map<std::string, Blob> blobs_;
+  StorageFaultModel* fault_ = nullptr;
+};
+
+/// Files in a real directory, with real fsync. An attached fault model can
+/// still fail sync() (torn tails and bit flips need a real power cut, which
+/// this class cannot inject).
+class FileBackend final : public StorageBackend {
+ public:
+  /// Creates `dir` (and parents) if missing. Throws std::runtime_error when
+  /// the directory cannot be created.
+  explicit FileBackend(std::string dir);
+
+  void set_fault_model(StorageFaultModel* model) { fault_ = model; }
+
+  std::vector<std::string> list() const override;
+  bool exists(const std::string& name) const override;
+  bool read(const std::string& name,
+            std::vector<std::uint8_t>* out) const override;
+  void write(const std::string& name,
+             const std::vector<std::uint8_t>& data) override;
+  void append(const std::string& name,
+              const std::vector<std::uint8_t>& data) override;
+  bool sync(const std::string& name) override;
+  void truncate(const std::string& name, std::size_t size) override;
+  void remove(const std::string& name) override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path_of(const std::string& name) const;
+
+  std::string dir_;
+  StorageFaultModel* fault_ = nullptr;
+};
+
+}  // namespace waif::storage

@@ -1,0 +1,116 @@
+#include "storage/codec.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <utility>
+
+namespace waif::storage {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const std::vector<std::uint8_t>& data) {
+  return crc32(data.data(), data.size());
+}
+
+void ByteWriter::u8(std::uint8_t value) { bytes_.push_back(value); }
+
+void ByteWriter::u32(std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFFu));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>((value >> shift) & 0xFFu));
+  }
+}
+
+void ByteWriter::i64(std::int64_t value) {
+  u64(static_cast<std::uint64_t>(value));
+}
+
+void ByteWriter::f64(double value) { u64(std::bit_cast<std::uint64_t>(value)); }
+
+void ByteWriter::str(const std::string& value) {
+  u32(static_cast<std::uint32_t>(value.size()));
+  bytes_.insert(bytes_.end(), value.begin(), value.end());
+}
+
+bool ByteReader::take(std::size_t count, const std::uint8_t** out) {
+  if (failed_ || size_ - offset_ < count) {
+    failed_ = true;
+    return false;
+  }
+  *out = data_ + offset_;
+  offset_ += count;
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  const std::uint8_t* p = nullptr;
+  if (!take(1, &p)) return 0;
+  return p[0];
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, &p)) return 0;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, &p)) return 0;
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint32_t length = u32();
+  const std::uint8_t* p = nullptr;
+  if (!take(length, &p)) return {};
+  return std::string(reinterpret_cast<const char*>(p), length);
+}
+
+}  // namespace waif::storage

@@ -1,0 +1,46 @@
+#include "storage/fault.h"
+
+#include "common/check.h"
+
+namespace waif::storage {
+
+StorageFaultModel::StorageFaultModel(StorageFaultConfig config,
+                                     std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  WAIF_CHECK(config.fsync_failure_probability >= 0.0 &&
+             config.fsync_failure_probability <= 1.0);
+  WAIF_CHECK(config.torn_write_probability >= 0.0 &&
+             config.torn_write_probability <= 1.0);
+  WAIF_CHECK(config.bit_flip_probability >= 0.0 &&
+             config.bit_flip_probability <= 1.0);
+}
+
+bool StorageFaultModel::sync_passes() {
+  if (config_.fsync_failure_probability <= 0.0) return true;
+  if (rng_.next_double() < config_.fsync_failure_probability) {
+    ++stats_.fsync_failures;
+    return false;
+  }
+  return true;
+}
+
+std::size_t StorageFaultModel::surviving_tail(std::size_t unsynced) {
+  if (unsynced == 0 || config_.torn_write_probability <= 0.0) return 0;
+  if (rng_.next_double() >= config_.torn_write_probability) return 0;
+  ++stats_.torn_writes;
+  // A strict prefix: the crash happened somewhere inside the tail.
+  return static_cast<std::size_t>(
+      rng_.next_below(static_cast<std::uint64_t>(unsynced)));
+}
+
+bool StorageFaultModel::draw_bit_flip(std::size_t surviving,
+                                      std::size_t* bit_offset) {
+  if (surviving == 0 || config_.bit_flip_probability <= 0.0) return false;
+  if (rng_.next_double() >= config_.bit_flip_probability) return false;
+  ++stats_.bit_flips;
+  *bit_offset = static_cast<std::size_t>(
+      rng_.next_below(static_cast<std::uint64_t>(surviving * 8)));
+  return true;
+}
+
+}  // namespace waif::storage

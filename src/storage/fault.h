@@ -1,0 +1,82 @@
+// Fault injection for the durability layer — the storage twin of
+// net::FaultModel.
+//
+// Disks fail differently from radios: an fsync can return an error while
+// earlier writes sit in the page cache, a crash can tear the last appended
+// frame mid-record, and cold data can rot a bit at a time. A
+// StorageFaultModel layers those failure modes over a StorageBackend,
+// drawing every decision from its own seeded RNG so a chaos run replays
+// bit-identically at any --jobs count.
+//
+// With every probability at zero the model is disabled and the backend
+// behaves like perfect hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace waif::storage {
+
+struct StorageFaultConfig {
+  /// Probability that a sync() call fails: nothing new becomes durable and
+  /// the caller is told so (the WAL then refuses the dependent delivery).
+  double fsync_failure_probability = 0.0;
+
+  /// Probability that a crash tears the unsynced tail instead of discarding
+  /// it cleanly: a uniformly-drawn prefix of the unsynced bytes survives,
+  /// possibly cutting a record frame in half. 0 = crashes always discard
+  /// the whole unsynced tail.
+  double torn_write_probability = 0.0;
+
+  /// Probability that a crash flips one random bit in whatever part of the
+  /// unsynced tail survived it (latent corruption the CRC must catch).
+  double bit_flip_probability = 0.0;
+
+  /// Any fault parameter non-zero?
+  bool enabled() const {
+    return fsync_failure_probability > 0.0 || torn_write_probability > 0.0 ||
+           bit_flip_probability > 0.0;
+  }
+};
+
+struct StorageFaultStats {
+  /// sync() calls the model failed.
+  std::uint64_t fsync_failures = 0;
+  /// Crashes that left a torn (partial) unsynced tail behind.
+  std::uint64_t torn_writes = 0;
+  /// Bits flipped in surviving unsynced data.
+  std::uint64_t bit_flips = 0;
+};
+
+/// Seeded, deterministic fault process for one storage backend. All
+/// randomness comes from the model's own RNG, consumed in simulation event
+/// order, so a run is reproducible from (StorageFaultConfig, seed) alone.
+class StorageFaultModel {
+ public:
+  StorageFaultModel(StorageFaultConfig config, std::uint64_t seed);
+
+  const StorageFaultConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  /// One sync() attempt; false = the fsync failed.
+  bool sync_passes();
+
+  /// Crash semantics for `unsynced` trailing bytes of one blob: how many of
+  /// them survive the crash (0 = clean discard; a torn write keeps a
+  /// uniformly-drawn strict prefix).
+  std::size_t surviving_tail(std::size_t unsynced);
+
+  /// Should the crash flip a bit in the surviving unsynced region? If so,
+  /// returns the bit offset to flip within `surviving` bytes.
+  bool draw_bit_flip(std::size_t surviving, std::size_t* bit_offset);
+
+  const StorageFaultStats& stats() const { return stats_; }
+
+ private:
+  StorageFaultConfig config_;
+  Rng rng_;
+  StorageFaultStats stats_;
+};
+
+}  // namespace waif::storage

@@ -1,0 +1,56 @@
+// waif_fsck: offline integrity checker for a proxy storage directory.
+//
+// Walks every blob a ProxyPersistence writes — the WAL and the snapshot
+// checkpoints — and reports what a recovery would find: how much of the WAL
+// is valid, whether the tail is torn or CRC-damaged, which snapshots decode,
+// and whether the newest snapshot's watermark is consistent with the log
+// (a snapshot claiming to cover more records than the log holds means the
+// write-ahead discipline was violated — the one corruption recovery cannot
+// repair silently).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "storage/backend.h"
+
+namespace waif::storage {
+
+struct FsckReport {
+  // WAL
+  std::uint64_t wal_records = 0;
+  std::size_t wal_valid_bytes = 0;
+  std::size_t wal_total_bytes = 0;
+  bool wal_torn_tail = false;
+  std::uint64_t wal_crc_failures = 0;
+
+  // Snapshots
+  std::uint64_t valid_snapshots = 0;
+  std::uint64_t damaged_snapshots = 0;
+  std::uint64_t latest_snapshot_seq = 0;
+  std::uint64_t latest_watermark = 0;
+  /// The newest valid snapshot covers records the log does not hold —
+  /// unrecoverable inconsistency (should be impossible: snapshots sync the
+  /// WAL before claiming a watermark).
+  bool watermark_beyond_log = false;
+
+  /// Blobs that are neither the WAL nor a snapshot.
+  std::uint64_t unknown_blobs = 0;
+
+  /// Repairable damage only? (A torn tail or a trailing CRC failure is
+  /// expected after a crash; recovery truncates it away.)
+  bool recoverable() const { return !watermark_beyond_log; }
+  /// No damage at all.
+  bool clean() const {
+    return wal_valid_bytes == wal_total_bytes && wal_crc_failures == 0 &&
+           !wal_torn_tail && damaged_snapshots == 0 && !watermark_beyond_log;
+  }
+};
+
+/// Checks every blob in `backend`. Read-only: never repairs.
+FsckReport waif_fsck(const StorageBackend& backend);
+
+/// Human-readable multi-line report.
+std::string format_report(const FsckReport& report);
+
+}  // namespace waif::storage

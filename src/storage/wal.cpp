@@ -1,0 +1,207 @@
+#include "storage/wal.h"
+
+#include <utility>
+
+namespace waif::storage {
+
+using pubsub::Notification;
+
+void encode_notification(ByteWriter& writer, const Notification& event) {
+  writer.u64(event.id.value);
+  writer.str(event.topic);
+  writer.u64(event.publisher.value);
+  writer.f64(event.rank);
+  writer.i64(event.published_at);
+  writer.i64(event.expires_at);
+  writer.str(event.payload);
+}
+
+Notification decode_notification(ByteReader& reader) {
+  Notification event;
+  event.id = NotificationId(reader.u64());
+  event.topic = reader.str();
+  event.publisher = PublisherId(reader.u64());
+  event.rank = reader.f64();
+  event.published_at = reader.i64();
+  event.expires_at = reader.i64();
+  event.payload = reader.str();
+  return event;
+}
+
+namespace {
+
+std::vector<std::uint8_t> encode_payload(const WalRecord& record) {
+  ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(record.type));
+  writer.str(record.topic);
+  writer.i64(record.at);
+  switch (record.type) {
+    case WalRecordType::kEnqueue:
+      encode_notification(writer, record.event);
+      writer.u8(static_cast<std::uint8_t>(record.stage));
+      writer.i64(record.release_at);
+      writer.u8(record.fresh ? 1 : 0);
+      writer.u8(record.exp_tracked ? 1 : 0);
+      writer.f64(record.rate_credit);
+      break;
+    case WalRecordType::kForward:
+      encode_notification(writer, record.event);
+      writer.u8(record.replicated ? 1 : 0);
+      writer.f64(record.rate_credit);
+      break;
+    case WalRecordType::kRead:
+      writer.u64(record.request_id);
+      writer.i64(record.n);
+      writer.u64(record.queue_size);
+      break;
+    case WalRecordType::kSync:
+      writer.u64(record.sync_id);
+      writer.u64(record.queue_size);
+      writer.u32(static_cast<std::uint32_t>(record.offline_reads.size()));
+      for (const core::ReadRecord& read : record.offline_reads) {
+        writer.i64(read.time);
+        writer.i64(read.n);
+      }
+      break;
+    case WalRecordType::kExpire:
+      writer.u64(record.id);
+      writer.u8(record.timer_fired ? 1 : 0);
+      break;
+    case WalRecordType::kRequeue:
+      encode_notification(writer, record.event);
+      break;
+    case WalRecordType::kAck:
+      writer.u64(record.id);
+      break;
+  }
+  return writer.take();
+}
+
+/// Decodes one payload. False when the payload is malformed (unknown type,
+/// short fields, trailing bytes) — treated exactly like a CRC failure.
+bool decode_payload(const std::vector<std::uint8_t>& payload,
+                    WalRecord* record) {
+  ByteReader reader(payload);
+  record->type = static_cast<WalRecordType>(reader.u8());
+  record->topic = reader.str();
+  record->at = reader.i64();
+  switch (record->type) {
+    case WalRecordType::kEnqueue: {
+      record->event = decode_notification(reader);
+      const std::uint8_t stage = reader.u8();
+      if (stage > static_cast<std::uint8_t>(core::JournalStage::kDelay)) {
+        return false;
+      }
+      record->stage = static_cast<core::JournalStage>(stage);
+      record->release_at = reader.i64();
+      record->fresh = reader.u8() != 0;
+      record->exp_tracked = reader.u8() != 0;
+      record->rate_credit = reader.f64();
+      break;
+    }
+    case WalRecordType::kForward:
+      record->event = decode_notification(reader);
+      record->replicated = reader.u8() != 0;
+      record->rate_credit = reader.f64();
+      break;
+    case WalRecordType::kRead:
+      record->request_id = reader.u64();
+      record->n = static_cast<int>(reader.i64());
+      record->queue_size = reader.u64();
+      break;
+    case WalRecordType::kSync: {
+      record->sync_id = reader.u64();
+      record->queue_size = reader.u64();
+      const std::uint32_t count = reader.u32();
+      if (reader.failed()) return false;
+      // Each offline read is 16 encoded bytes; an absurd count means a
+      // corrupt frame, not a huge sync.
+      if (count > reader.remaining() / 16) return false;
+      record->offline_reads.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        core::ReadRecord read;
+        read.time = reader.i64();
+        read.n = static_cast<int>(reader.i64());
+        record->offline_reads.push_back(read);
+      }
+      break;
+    }
+    case WalRecordType::kExpire:
+      record->id = reader.u64();
+      record->timer_fired = reader.u8() != 0;
+      break;
+    case WalRecordType::kRequeue:
+      record->event = decode_notification(reader);
+      break;
+    case WalRecordType::kAck:
+      record->id = reader.u64();
+      break;
+    default:
+      return false;
+  }
+  return reader.exhausted();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_wal_record(const WalRecord& record) {
+  const std::vector<std::uint8_t> payload = encode_payload(record);
+  ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32(payload));
+  std::vector<std::uint8_t> bytes = frame.take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+void WalWriter::append(const WalRecord& record) {
+  backend_.append(blob_, encode_wal_record(record));
+  ++count_;
+  ++unsynced_;
+}
+
+bool WalWriter::sync() {
+  if (!backend_.sync(blob_)) return false;
+  unsynced_ = 0;
+  return true;
+}
+
+WalReadResult read_wal(const StorageBackend& backend, const std::string& blob) {
+  WalReadResult result;
+  std::vector<std::uint8_t> bytes;
+  if (!backend.read(blob, &bytes)) return result;
+  result.total_bytes = bytes.size();
+
+  std::size_t offset = 0;
+  constexpr std::size_t kHeaderBytes = 8;
+  while (offset < bytes.size()) {
+    if (bytes.size() - offset < kHeaderBytes) {
+      result.torn_tail = true;
+      break;
+    }
+    ByteReader header(bytes.data() + offset, kHeaderBytes);
+    const std::uint32_t length = header.u32();
+    const std::uint32_t expected_crc = header.u32();
+    if (bytes.size() - offset - kHeaderBytes < length) {
+      result.torn_tail = true;
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + offset + kHeaderBytes;
+    if (crc32(payload, length) != expected_crc) {
+      ++result.crc_failures;
+      break;
+    }
+    WalRecord record;
+    if (!decode_payload(std::vector<std::uint8_t>(payload, payload + length),
+                        &record)) {
+      ++result.crc_failures;
+      break;
+    }
+    result.records.push_back(std::move(record));
+    offset += kHeaderBytes + length;
+    result.valid_bytes = offset;
+  }
+  return result;
+}
+
+}  // namespace waif::storage

@@ -1,0 +1,141 @@
+// The write-ahead log of proxy mutations.
+//
+// Every record is one framed entry appended to a single blob:
+//
+//     [u32 payload_length][u32 crc32(payload)][payload...]
+//
+// The payload is the little-endian encoding of a WalRecord. On recovery the
+// log is scanned front to back; the scan stops at the first frame that is
+// torn (fewer bytes than the header promises) or fails its CRC — everything
+// before that point is trusted, everything after is discarded (a repair
+// truncates the blob back to the last valid frame boundary). Appends are
+// not durable until sync(); the writer tracks how many records sit in the
+// unsynced window, which bounds what a crash can lose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/journal.h"
+#include "core/read_protocol.h"
+#include "pubsub/notification.h"
+#include "storage/backend.h"
+#include "storage/codec.h"
+
+namespace waif::storage {
+
+/// Default blob name of the proxy WAL.
+inline constexpr const char* kWalBlobName = "wal";
+
+enum class WalRecordType : std::uint8_t {
+  kEnqueue = 1,  // a NOTIFICATION (or READ-difference move) placed in a queue
+  kForward = 2,  // an event handed to the device channel (write-ahead!)
+  kRead = 3,     // an online READ request handled
+  kSync = 4,     // a device sync (queue size + offline-read log) handled
+  kExpire = 5,   // an event purged as expired
+  kRequeue = 6,  // the reliable channel handed an abandoned transfer back
+  kAck = 7,      // the device ACKed a forwarded event (reliable channel)
+};
+
+/// One WAL entry. A flat union-style struct: `type` says which fields are
+/// meaningful (the encoding only stores those).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kEnqueue;
+  std::string topic;
+  SimTime at = 0;
+
+  // kEnqueue / kForward / kRequeue
+  pubsub::Notification event;
+
+  // kEnqueue
+  core::JournalStage stage = core::JournalStage::kDropped;
+  SimTime release_at = 0;
+  bool fresh = false;
+  bool exp_tracked = false;
+
+  // kEnqueue / kForward
+  double rate_credit = 0.0;
+
+  // kForward
+  bool replicated = false;
+
+  // kRead
+  std::uint64_t request_id = 0;
+  int n = 0;
+
+  // kRead / kSync
+  std::uint64_t queue_size = 0;
+
+  // kSync
+  std::uint64_t sync_id = 0;
+  std::vector<core::ReadRecord> offline_reads;
+
+  // kExpire / kAck
+  std::uint64_t id = 0;
+
+  // kExpire
+  bool timer_fired = false;
+};
+
+/// Shared notification codec (the snapshot blob uses the same encoding).
+void encode_notification(ByteWriter& writer, const pubsub::Notification& event);
+pubsub::Notification decode_notification(ByteReader& reader);
+
+/// Encodes one record as a complete frame (header + payload).
+std::vector<std::uint8_t> encode_wal_record(const WalRecord& record);
+
+/// Appender for one WAL blob.
+class WalWriter {
+ public:
+  /// `initial_count` seeds the record counter when an incarnation continues
+  /// an existing log (the count recovered from it).
+  WalWriter(StorageBackend& backend, std::string blob,
+            std::uint64_t initial_count = 0)
+      : backend_(backend), blob_(std::move(blob)), count_(initial_count) {}
+
+  /// Appends one frame (volatile until sync()).
+  void append(const WalRecord& record);
+
+  /// Makes every appended frame durable. False = the fsync failed and the
+  /// unsynced window is still at risk.
+  bool sync();
+
+  /// Records appended over the lifetime of the log (all incarnations).
+  std::uint64_t record_count() const { return count_; }
+  /// Re-seeds the counter from a recovered log (nothing unsynced yet).
+  void reset_count(std::uint64_t count) {
+    count_ = count;
+    unsynced_ = 0;
+  }
+  /// Records appended since the last successful sync.
+  std::uint64_t unsynced_records() const { return unsynced_; }
+
+ private:
+  StorageBackend& backend_;
+  std::string blob_;
+  std::uint64_t count_ = 0;
+  std::uint64_t unsynced_ = 0;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Bytes covered by valid frames — the repair truncation point.
+  std::size_t valid_bytes = 0;
+  /// Total blob size (valid_bytes < total_bytes means a damaged tail).
+  std::size_t total_bytes = 0;
+  /// Frames rejected by their CRC (bit flips; 0 or 1 — the scan stops).
+  std::uint64_t crc_failures = 0;
+  /// True when the blob ends in a partial frame (torn final write).
+  bool torn_tail = false;
+
+  bool clean() const { return valid_bytes == total_bytes; }
+};
+
+/// Scans the WAL blob, returning every record up to the first damage. A
+/// missing blob yields an empty, clean result.
+WalReadResult read_wal(const StorageBackend& backend,
+                       const std::string& blob = kWalBlobName);
+
+}  // namespace waif::storage

@@ -7,11 +7,13 @@
 #include <limits>
 #include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "common/distributions.h"
+#include "pubsub/notification.h"
 
 namespace waif::workload {
 
@@ -19,6 +21,17 @@ namespace {
 
 [[noreturn]] void fail(std::size_t line, const std::string& message) {
   throw std::invalid_argument("line " + std::to_string(line) + ": " + message);
+}
+
+/// A line must be fully consumed by its keyword's fields; leftover tokens
+/// mean the file is not what it claims to be.
+void expect_consumed(std::istringstream& fields, std::size_t line) {
+  std::string extra;
+  if (fields >> extra) fail(line, "trailing garbage '" + extra + "'");
+}
+
+bool valid_rank(double rank) {
+  return rank >= pubsub::kMinRank && rank <= pubsub::kMaxRank;  // NaN fails both
 }
 
 }  // namespace
@@ -70,9 +83,11 @@ Trace read_trace(std::istream& in) {
         fail(line_number, "expected header 'waif-trace v1'");
       }
       have_header = true;
+      expect_consumed(fields, line_number);
       continue;
     }
     if (keyword == "horizon") {
+      if (have_horizon) fail(line_number, "duplicate horizon");
       if (!(fields >> trace.horizon) || trace.horizon < 0) {
         fail(line_number, "bad horizon");
       }
@@ -83,6 +98,10 @@ Trace read_trace(std::istream& in) {
       if (!(fields >> arrival.time >> arrival.rank >> lifetime)) {
         fail(line_number, "bad arrival");
       }
+      if (arrival.time < 0) fail(line_number, "negative arrival time");
+      if (!valid_rank(arrival.rank)) {
+        fail(line_number, "arrival rank outside [0, 5]");
+      }
       if (lifetime == "never") {
         arrival.lifetime = kNever;
       } else {
@@ -91,16 +110,24 @@ Trace read_trace(std::istream& in) {
         } catch (const std::exception&) {
           fail(line_number, "bad arrival lifetime");
         }
+        if (arrival.lifetime < 0) {
+          fail(line_number, "negative arrival lifetime");
+        }
       }
       trace.arrivals.push_back(arrival);
     } else if (keyword == "read") {
       SimTime at = 0;
       if (!(fields >> at)) fail(line_number, "bad read");
+      if (at < 0) fail(line_number, "negative read time");
       trace.reads.push_back(at);
     } else if (keyword == "outage") {
       net::Outage outage{};
       if (!(fields >> outage.start >> outage.end)) {
         fail(line_number, "bad outage");
+      }
+      if (outage.start < 0) fail(line_number, "negative outage start");
+      if (outage.end <= outage.start) {
+        fail(line_number, "outage must end after it starts");
       }
       outages.push_back(outage);
     } else if (keyword == "rankchange") {
@@ -108,10 +135,15 @@ Trace read_trace(std::istream& in) {
       if (!(fields >> change.time >> change.arrival_index >> change.new_rank)) {
         fail(line_number, "bad rankchange");
       }
+      if (change.time < 0) fail(line_number, "negative rankchange time");
+      if (!valid_rank(change.new_rank)) {
+        fail(line_number, "rankchange rank outside [0, 5]");
+      }
       trace.rank_changes.push_back(change);
     } else {
       fail(line_number, "unknown keyword '" + keyword + "'");
     }
+    expect_consumed(fields, line_number);
   }
   if (!have_header) fail(line_number, "missing header");
   if (!have_horizon) fail(line_number, "missing horizon");
@@ -227,6 +259,7 @@ ScenarioConfig read_scenario(std::istream& in) {
 
   std::string line;
   std::size_t line_number = 0;
+  std::set<std::string> seen;
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
@@ -237,10 +270,66 @@ ScenarioConfig read_scenario(std::istream& in) {
     if (setter == setters.end()) {
       fail(line_number, "unknown scenario key '" + key + "'");
     }
-    setter->second(fields);
+    if (!seen.insert(key).second) {
+      fail(line_number, "duplicate scenario key '" + key + "'");
+    }
+    try {
+      setter->second(fields);
+    } catch (const std::invalid_argument& error) {
+      fail(line_number, error.what());
+    }
     if (fields.fail()) fail(line_number, "bad value for '" + key + "'");
+    expect_consumed(fields, line_number);
   }
+  validate_scenario(config);
   return config;
+}
+
+void validate_scenario(const ScenarioConfig& config) {
+  auto require = [](bool ok, const std::string& message) {
+    if (!ok) throw std::invalid_argument("scenario: " + message);
+  };
+  auto fraction = [&require](double value, const std::string& name) {
+    require(value >= 0.0 && value <= 1.0, name + " must be in [0, 1]");
+  };
+  auto rank = [&require](double value, const std::string& name) {
+    require(valid_rank(value), name + " must be in [0, 5]");
+  };
+  require(config.event_frequency >= 0.0, "event_frequency must be >= 0");
+  require(config.user_frequency >= 0.0, "user_frequency must be >= 0");
+  rank(config.rank_lo, "rank_lo");
+  rank(config.rank_hi, "rank_hi");
+  require(config.rank_lo <= config.rank_hi, "rank_lo must be <= rank_hi");
+  rank(config.dropped_rank, "dropped_rank");
+  rank(config.threshold, "threshold");
+  fraction(config.expiring_fraction, "expiring_fraction");
+  fraction(config.rank_drop_fraction, "rank_drop_fraction");
+  fraction(config.rank_raise_fraction, "rank_raise_fraction");
+  fraction(config.outage_fraction, "outage_fraction");
+  fraction(config.fault.drop_probability, "fault_drop_probability");
+  fraction(config.fault.burst_start_probability,
+           "fault_burst_start_probability");
+  fraction(config.fault.half_open_probability, "fault_half_open_probability");
+  fraction(config.fault.uplink_drop_probability,
+           "fault_uplink_drop_probability");
+  require(config.max >= 1, "max must be >= 1");
+  require(config.mean_expiration >= 0, "mean_expiration must be >= 0");
+  require(config.mean_rank_drop_delay >= 0,
+          "mean_rank_drop_delay must be >= 0");
+  require(config.mean_rank_raise_delay >= 0,
+          "mean_rank_raise_delay must be >= 0");
+  require(config.awake_start_mean >= 0, "awake_start_mean must be >= 0");
+  require(config.awake_start_jitter >= 0, "awake_start_jitter must be >= 0");
+  require(config.mean_outage >= 0, "mean_outage must be >= 0");
+  require(config.outage_sigma >= 0.0, "outage_sigma must be >= 0");
+  require(config.fault.mean_burst_length >= 0.0,
+          "fault_mean_burst_length must be >= 0");
+  require(config.fault.mean_half_open >= 0,
+          "fault_mean_half_open must be >= 0");
+  require(config.fault.base_latency >= 0, "fault_base_latency must be >= 0");
+  require(config.fault.mean_latency_jitter >= 0,
+          "fault_mean_latency_jitter must be >= 0");
+  require(config.horizon > 0, "horizon must be > 0");
 }
 
 void CanonicalDigest::u64(std::uint64_t value) {

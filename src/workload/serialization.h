@@ -34,9 +34,18 @@ Trace read_trace(std::istream& in);
 /// Writes a scenario as `key value` lines (all fields, defaults included).
 void write_scenario(std::ostream& out, const ScenarioConfig& config);
 
-/// Parses a scenario written by write_scenario (unknown keys are errors,
-/// missing keys keep their defaults). Durations are in microseconds.
+/// Parses a scenario written by write_scenario (unknown keys, duplicate
+/// keys, trailing garbage and out-of-range values are errors; missing keys
+/// keep their defaults). Durations are in microseconds. Throws
+/// std::invalid_argument with a line number on malformed input.
 ScenarioConfig read_scenario(std::istream& in);
+
+/// Rejects a scenario whose values a generated trace could not honor
+/// (negative rates or durations, fractions outside [0, 1], ranks outside
+/// [kMinRank, kMaxRank], a non-positive horizon) by throwing
+/// std::invalid_argument. read_scenario calls this; flag-built configs can
+/// call it directly.
+void validate_scenario(const ScenarioConfig& config);
 
 /// Canonical byte encoding folded into a 64-bit FNV-1a digest.
 ///

@@ -1,0 +1,78 @@
+#include "storage/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace waif::storage {
+namespace {
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check, sizeof(check)), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, DetectsASingleFlippedBit) {
+  std::vector<std::uint8_t> data(64, 0xAB);
+  const std::uint32_t clean = crc32(data);
+  data[17] ^= 0x04;
+  EXPECT_NE(crc32(data), clean);
+}
+
+TEST(ByteCodec, RoundTripsEveryFieldType) {
+  ByteWriter writer;
+  writer.u8(0x7F);
+  writer.u32(0xDEADBEEFu);
+  writer.u64(0x0123456789ABCDEFull);
+  writer.i64(-42);
+  writer.f64(3.14159);
+  writer.f64(-0.0);
+  writer.f64(std::numeric_limits<double>::infinity());
+  writer.str("hello");
+  writer.str("");
+
+  const std::vector<std::uint8_t> bytes = writer.take();
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.u8(), 0x7F);
+  EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(reader.i64(), -42);
+  EXPECT_EQ(reader.f64(), 3.14159);
+  // Bit-exact doubles: -0.0 must come back as -0.0, not +0.0.
+  EXPECT_TRUE(std::signbit(reader.f64()));
+  EXPECT_EQ(reader.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(reader.str(), "hello");
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_FALSE(reader.failed());
+}
+
+TEST(ByteCodec, OverrunFailsAndStaysFailed) {
+  ByteWriter writer;
+  writer.u32(7);
+  const std::vector<std::uint8_t> bytes = writer.take();
+
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.u32(), 7u);
+  EXPECT_EQ(reader.u64(), 0u);  // overrun: zero, not garbage
+  EXPECT_TRUE(reader.failed());
+  EXPECT_EQ(reader.u8(), 0u);  // failure is sticky
+  EXPECT_FALSE(reader.exhausted());
+}
+
+TEST(ByteCodec, TruncatedStringLengthFails) {
+  ByteWriter writer;
+  writer.u32(1000);  // a length prefix with no such payload behind it
+  const std::vector<std::uint8_t> bytes = writer.take();
+
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.str(), "");
+  EXPECT_TRUE(reader.failed());
+}
+
+}  // namespace
+}  // namespace waif::storage

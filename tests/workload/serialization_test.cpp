@@ -149,6 +149,80 @@ TEST(ScenarioSerializationTest, MissingKeysKeepDefaults) {
   EXPECT_EQ(loaded.horizon, defaults.horizon);
 }
 
+/// Runs `fn` and returns the std::invalid_argument message it threw ("" if
+/// it did not throw) — bad user files must fail with a clean error, never a
+/// WAIF_CHECK abort.
+template <typename Fn>
+std::string error_message(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::invalid_argument& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(TraceSerializationTest, TrailingGarbageRejectedWithLineNumber) {
+  std::stringstream in(
+      "waif-trace v1\n"
+      "horizon 1000\n"
+      "arrival 5 3.5 never oops\n");
+  const std::string message = error_message([&in] { read_trace(in); });
+  EXPECT_NE(message.find("line 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("oops"), std::string::npos) << message;
+}
+
+TEST(TraceSerializationTest, DuplicateHorizonRejected) {
+  std::stringstream in("waif-trace v1\nhorizon 1000\nhorizon 2000\n");
+  EXPECT_THROW(read_trace(in), std::invalid_argument);
+}
+
+TEST(TraceSerializationTest, NegativeTimesRejected) {
+  {
+    std::stringstream in("waif-trace v1\nhorizon 10\narrival -5 1.0 never\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("waif-trace v1\nhorizon 10\nread -1\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("waif-trace v1\nhorizon 10\narrival 1 1.0 -30\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+}
+
+TEST(TraceSerializationTest, OutOfRangeRankRejected) {
+  {
+    std::stringstream in("waif-trace v1\nhorizon 10\narrival 1 9.0 never\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("waif-trace v1\nhorizon 10\narrival 1 nan never\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in(
+        "waif-trace v1\nhorizon 10\narrival 1 1.0 never\n"
+        "rankchange 2 0 -3.0\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+}
+
+TEST(TraceSerializationTest, CorruptOutagesFailCleanly) {
+  // A negative start used to reach OutageSchedule's WAIF_CHECK and abort
+  // the process; an inverted interval was silently discarded. Both are now
+  // parse errors.
+  {
+    std::stringstream in("waif-trace v1\nhorizon 100\noutage -10 20\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+  {
+    std::stringstream in("waif-trace v1\nhorizon 100\noutage 50 10\n");
+    EXPECT_THROW(read_trace(in), std::invalid_argument);
+  }
+}
+
 TEST(ScenarioSerializationTest, UnknownKeyRejected) {
   std::stringstream in("warp_factor 9\n");
   EXPECT_THROW(read_scenario(in), std::invalid_argument);
@@ -157,6 +231,45 @@ TEST(ScenarioSerializationTest, UnknownKeyRejected) {
 TEST(ScenarioSerializationTest, BadValueRejected) {
   std::stringstream in("event_frequency fast\n");
   EXPECT_THROW(read_scenario(in), std::invalid_argument);
+}
+
+TEST(ScenarioSerializationTest, DuplicateKeyRejected) {
+  std::stringstream in("event_frequency 10\nevent_frequency 20\n");
+  const std::string message = error_message([&in] { read_scenario(in); });
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("duplicate"), std::string::npos) << message;
+}
+
+TEST(ScenarioSerializationTest, TrailingGarbageRejected) {
+  std::stringstream in("max 8 extra\n");
+  EXPECT_THROW(read_scenario(in), std::invalid_argument);
+}
+
+TEST(ScenarioSerializationTest, BadDurationShapeCarriesLineNumber) {
+  std::stringstream in("horizon 100\nexpiration_shape wibble\n");
+  const std::string message = error_message([&in] { read_scenario(in); });
+  EXPECT_NE(message.find("line 2"), std::string::npos) << message;
+  EXPECT_NE(message.find("wibble"), std::string::npos) << message;
+}
+
+TEST(ScenarioSerializationTest, OutOfRangeValuesRejected) {
+  const char* bad[] = {
+      "outage_fraction 1.5\n",  "event_frequency -2\n",
+      "expiring_fraction nan\n", "max 0\n",
+      "horizon 0\n",            "fault_drop_probability 2\n",
+      "rank_lo 4\nrank_hi 1\n", "mean_outage -5\n",
+  };
+  for (const char* text : bad) {
+    std::stringstream in(text);
+    EXPECT_THROW(read_scenario(in), std::invalid_argument) << text;
+  }
+}
+
+TEST(ScenarioSerializationTest, ValidateScenarioChecksBuiltConfigsToo) {
+  ScenarioConfig config;
+  validate_scenario(config);  // the defaults are valid
+  config.threshold = 99.0;
+  EXPECT_THROW(validate_scenario(config), std::invalid_argument);
 }
 
 TEST(CanonicalDigestTest, FieldOrderAndTypeMatter) {
