@@ -17,6 +17,12 @@ class DeviceChannel {
   /// True when the last hop can currently carry traffic.
   virtual bool link_up() const = 0;
 
+  /// True when the channel is willing to take on new transfers. A channel
+  /// whose circuit breaker tripped (see ReliableDeviceChannel) reports false
+  /// here; the proxy then holds events instead of forwarding — a degraded
+  /// hold-only mode — until the breaker probes half-open and recloses.
+  virtual bool accepting() const { return true; }
+
   /// Transfers one notification proxy -> device. Pre: link_up().
   virtual bool deliver(const pubsub::NotificationPtr& notification) = 0;
 };

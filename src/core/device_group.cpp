@@ -21,6 +21,16 @@ LastHopSession& DeviceGroup::session(std::size_t member) {
   return *members_[member].session;
 }
 
+void DeviceGroup::set_member_degraded(std::size_t member, bool degraded) {
+  WAIF_CHECK(member < members_.size());
+  members_[member].degraded = degraded;
+}
+
+bool DeviceGroup::member_degraded(std::size_t member) const {
+  WAIF_CHECK(member < members_.size());
+  return members_[member].degraded;
+}
+
 std::vector<NotificationPtr> DeviceGroup::user_read(std::size_t member,
                                                     const std::string& topic) {
   if (member >= members_.size()) {
@@ -55,6 +65,12 @@ std::vector<NotificationPtr> DeviceGroup::user_read(std::size_t member,
        ++i) {
     if (i == member) continue;
     Member& peer = members_[i];
+    if (peer.degraded) {
+      // A hold-only peer: its cache may be stale and its proxy would only
+      // pile a refill request onto an already-struggling channel.
+      ++stats_.degraded_peer_skips;
+      continue;
+    }
     device::Device& peer_device = peer.channel->device();
     while (static_cast<int>(result.size()) < options.max) {
       auto batch = peer_device.read(topic, 1, options.threshold);

@@ -36,6 +36,9 @@ struct DeviceGroupStats {
   /// Peer-held duplicates of messages already seen by the user, dropped
   /// during a group read.
   std::uint64_t duplicates_discarded = 0;
+  /// Peer top-ups skipped because the peer was marked degraded (its
+  /// channel's circuit breaker tripped).
+  std::uint64_t degraded_peer_skips = 0;
 };
 
 class DeviceGroup {
@@ -57,6 +60,13 @@ class DeviceGroup {
   void set_adhoc_available(bool available) { adhoc_available_ = available; }
   bool adhoc_available() const { return adhoc_available_; }
 
+  /// Marks a member as degraded (its reliable channel's circuit breaker
+  /// tripped into hold-only mode): group reads stop topping up from its
+  /// cache and stop asking it to refill. Wire a breaker observer to this —
+  /// degraded = (state != BreakerState::kClosed).
+  void set_member_degraded(std::size_t member, bool degraded);
+  bool member_degraded(std::size_t member) const;
+
   /// One user read on `topic`, performed at device `member`: behaves like
   /// LastHopSession::user_read on that member, then tops up to the
   /// subscription Max from peer caches while the ad-hoc network is up.
@@ -74,6 +84,8 @@ class DeviceGroup {
     Proxy* proxy;
     SimDeviceChannel* channel;
     std::unique_ptr<LastHopSession> session;
+    /// Hold-only peer: excluded from peer top-ups until it recovers.
+    bool degraded = false;
   };
 
   sim::Simulator& sim_;

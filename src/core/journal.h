@@ -142,6 +142,16 @@ class ProxyJournal {
     (void)event;
     (void)at;
   }
+
+  /// An event was shed by the overload budget (see core/overload.h). Fires
+  /// while the victim is still in the queues — the erasure follows the
+  /// journal write, so the WAL always orders the enqueue before its shed.
+  virtual void on_shed(const std::string& topic,
+                       const pubsub::NotificationPtr& event, SimTime at) {
+    (void)topic;
+    (void)event;
+    (void)at;
+  }
 };
 
 /// Recovery hooks for ReplicatedProxy: invoked when a replica needs to be

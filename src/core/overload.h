@@ -1,0 +1,46 @@
+// Overload-protection knobs and the canonical shed order.
+//
+// The paper's premise is operating under volume limits; this header extends
+// that to the proxy's own memory. Budgets bound the number of events parked
+// across a topic's outgoing/prefetch/holding queues (the delay stage is
+// deliberately excluded — a delayed event re-enters through the prefetch
+// queue, where the budget catches it at release); watermarks gate publisher
+// admission at the proxy. Every knob defaults to 0 = disabled, so an
+// unconfigured proxy is byte-identical to one that never saw this header.
+#pragma once
+
+#include <cstddef>
+
+#include "pubsub/notification.h"
+
+namespace waif::core {
+
+/// Budgets and watermarks; all zero by default (= no overload protection).
+struct OverloadConfig {
+  /// Max events across one topic's outgoing+prefetch+holding queues.
+  /// Exceeding it sheds in canonical order (see shed_before). 0 = unbounded.
+  std::size_t topic_queue_budget = 0;
+  /// Max events summed over all topics of one proxy. Enforced after the
+  /// per-topic budget; sheds the globally worst event. 0 = unbounded.
+  std::size_t proxy_queue_budget = 0;
+  /// Admission control: once the proxy-wide queue total reaches this
+  /// high-watermark, new NOTIFICATIONs are rejected at the door (counted,
+  /// never journaled) until the total drains to admission_low. 0 = open.
+  std::size_t admission_high = 0;
+  /// Low-watermark at which a closed admission gate reopens.
+  std::size_t admission_low = 0;
+};
+
+/// The canonical shed order — semantically faithful to the paper's Rank and
+/// Expiration treatment (Section 3): lower rank goes first; among equal
+/// ranks the soonest-expiring event goes first (it was about to be purged
+/// anyway; never-expiring events are last); ids break the remaining ties so
+/// shedding is deterministic. `a` sheds before `b` when this returns true.
+inline bool shed_before(const pubsub::Notification& a,
+                        const pubsub::Notification& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  if (a.expires_at != b.expires_at) return a.expires_at < b.expires_at;
+  return a.id.value < b.id.value;
+}
+
+}  // namespace waif::core

@@ -21,6 +21,7 @@ TopicState& Proxy::add_topic(const std::string& topic, TopicConfig config) {
     throw std::invalid_argument("add_topic: topic already managed: " + topic);
   }
   it->second->set_journal(journal_);
+  arm_topic_overload(*it->second);
   return *it->second;
 }
 
@@ -55,8 +56,78 @@ void Proxy::attach_to_link(net::Link& link) {
   link.on_state_change([this](net::LinkState state) { handle_network(state); });
 }
 
+// ------------------------------------------------------- overload protection
+
+void Proxy::arm_topic_overload(TopicState& state) {
+  state.set_queue_budget(overload_.topic_queue_budget);
+  if (overload_.proxy_queue_budget > 0) {
+    state.set_overflow_hook([this] { enforce_proxy_budget(); });
+  } else {
+    state.set_overflow_hook(nullptr);
+  }
+}
+
+void Proxy::set_overload(const OverloadConfig& config) {
+  WAIF_CHECK(config.admission_low <= config.admission_high ||
+             config.admission_high == 0);
+  overload_ = config;
+  admission_closed_ = false;
+  for (auto& [topic, state] : topics_) arm_topic_overload(*state);
+}
+
+std::size_t Proxy::total_queued() const {
+  std::size_t total = 0;
+  for (const auto& [topic, state] : topics_) total += state->queued_total();
+  return total;
+}
+
+bool Proxy::accepting() {
+  if (overload_.admission_high == 0) return true;
+  const std::size_t total = total_queued();
+  if (admission_closed_) {
+    if (total > overload_.admission_low) return false;
+    admission_closed_ = false;  // drained to the low-watermark: reopen
+    return true;
+  }
+  if (total >= overload_.admission_high) {
+    admission_closed_ = true;
+    return false;
+  }
+  return true;
+}
+
+void Proxy::enforce_proxy_budget() {
+  if (overload_.proxy_queue_budget == 0) return;
+  while (total_queued() > overload_.proxy_queue_budget) {
+    // The globally worst event is, by definition, also the worst within its
+    // own topic, so shedding through that topic keeps the canonical order.
+    // Topics are walked in sorted-name order for determinism.
+    TopicState* worst_topic = nullptr;
+    pubsub::NotificationPtr worst;
+    for (const std::string& name : topic_names()) {
+      TopicState* state = topics_.at(name).get();
+      const NotificationPtr candidate = state->shed_candidate();
+      if (candidate == nullptr) continue;
+      if (worst == nullptr || shed_before(*candidate, *worst)) {
+        worst = candidate;
+        worst_topic = state;
+      }
+    }
+    if (worst_topic == nullptr) return;  // nothing left to shed
+    worst_topic->shed_one();
+  }
+}
+
 void Proxy::on_notification(const NotificationPtr& notification) {
   ++stats_.notifications;
+  if (!accepting()) {
+    // Admission control (backpressure toward the substrate): past the
+    // high-watermark arrivals are turned away at the door, before any queue
+    // or journal sees them — a rejected event needs no shed record for
+    // recovery to stay exact, because it never existed here.
+    ++stats_.admission_rejects;
+    return;
+  }
   auto it = topics_.find(notification->topic);
   if (it == topics_.end()) {
     // Subscribed at the broker but not configured here (or recently removed).
@@ -93,6 +164,36 @@ void Proxy::handle_sync(const std::string& topic, std::size_t queue_size,
     throw std::invalid_argument("handle_sync: unmanaged topic: " + topic);
   }
   it->second->handle_sync(queue_size, offline_reads, sync_id);
+}
+
+ReadStatus Proxy::try_read(const std::string& topic, const ReadRequest& request,
+                           std::vector<NotificationPtr>* difference) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    ++stats_.rejected_reads;
+    return ReadStatus::kUnknownTopic;
+  }
+  const ReadStatus status = it->second->handle_read_checked(request, difference);
+  if (status == ReadStatus::kOk) {
+    ++stats_.reads;
+  } else {
+    ++stats_.rejected_reads;
+  }
+  return status;
+}
+
+ReadStatus Proxy::try_sync(const std::string& topic, std::size_t queue_size,
+                           const std::vector<ReadRecord>& offline_reads,
+                           std::uint64_t sync_id) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    ++stats_.rejected_syncs;
+    return ReadStatus::kUnknownTopic;
+  }
+  const ReadStatus status =
+      it->second->handle_sync_checked(queue_size, offline_reads, sync_id);
+  if (status != ReadStatus::kOk) ++stats_.rejected_syncs;
+  return status;
 }
 
 void Proxy::handle_network(net::LinkState status) {

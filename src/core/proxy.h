@@ -16,6 +16,7 @@
 
 #include "core/channel.h"
 #include "core/forwarding_policy.h"
+#include "core/overload.h"
 #include "device/device.h"
 #include "core/read_protocol.h"
 #include "core/topic_state.h"
@@ -32,6 +33,9 @@ struct ProxyStats {
   std::uint64_t reads = 0;
   std::uint64_t network_changes = 0;
   std::uint64_t topics_withdrawn = 0;
+  std::uint64_t admission_rejects = 0;  // turned away at the high-watermark
+  std::uint64_t rejected_reads = 0;     // try_read protocol errors
+  std::uint64_t rejected_syncs = 0;     // try_sync protocol errors
 };
 
 class Proxy final : public pubsub::Subscriber {
@@ -62,6 +66,24 @@ class Proxy final : public pubsub::Subscriber {
   /// first.
   void set_journal(ProxyJournal* journal);
 
+  /// Arms overload protection for every managed topic, present and future:
+  /// the per-topic budget, the proxy-wide budget (enforced through each
+  /// topic's overflow hook) and the admission watermarks. The default
+  /// all-zero config disarms everything — behaviour is then byte-identical
+  /// to a proxy that never heard of overload.
+  void set_overload(const OverloadConfig& config);
+  const OverloadConfig& overload() const { return overload_; }
+
+  /// Events queued across all topics (outgoing+prefetch+holding sums — what
+  /// the proxy-wide budget and the admission watermarks gate on).
+  std::size_t total_queued() const;
+
+  /// Admission gate with hysteresis: once the queue total reaches
+  /// admission_high, new notifications are rejected until the total drains
+  /// to admission_low. Not persisted — a recovered proxy re-evaluates the
+  /// gate from its (restored) queue sizes on the first arrival.
+  bool accepting();
+
   /// Wires this proxy's NETWORK handler to the link's state changes.
   /// Call once at setup.
   void attach_to_link(net::Link& link);
@@ -78,6 +100,18 @@ class Proxy final : public pubsub::Subscriber {
   std::vector<pubsub::NotificationPtr> handle_read(const std::string& topic,
                                                    const ReadRequest& request);
 
+  /// Validated READ entry for untrusted device input: a malformed request
+  /// or an unmanaged topic yields a protocol error instead of an abort or
+  /// exception. On kOk fills `difference` (when non-null) with the forwarded
+  /// events.
+  ReadStatus try_read(const std::string& topic, const ReadRequest& request,
+                      std::vector<pubsub::NotificationPtr>* difference = nullptr);
+
+  /// Validated sync entry, same contract as try_read.
+  ReadStatus try_sync(const std::string& topic, std::size_t queue_size,
+                      const std::vector<ReadRecord>& offline_reads = {},
+                      std::uint64_t sync_id = 0);
+
   /// Queue-state sync from the device (sent at reconnection after offline
   /// reads). `sync_id` (0 = unstamped) makes retransmitted syncs idempotent.
   /// Throws std::invalid_argument for an unmanaged topic.
@@ -92,12 +126,23 @@ class Proxy final : public pubsub::Subscriber {
   sim::Simulator& simulator() { return sim_; }
 
  private:
+  /// Sheds the globally worst queued event (across topics, in sorted-name
+  /// order for determinism) until the proxy-wide budget holds. Hung on every
+  /// topic's overflow hook; shedding itself never grows a queue, so this
+  /// cannot re-enter.
+  void enforce_proxy_budget();
+  /// Applies the current overload config to one topic.
+  void arm_topic_overload(TopicState& state);
+
   sim::Simulator& sim_;
   DeviceChannel& channel_;
   std::string name_;
   // unique_ptr: TopicState is immovable (timers capture `this`).
   std::unordered_map<std::string, std::unique_ptr<TopicState>> topics_;
   ProxyJournal* journal_ = nullptr;
+  OverloadConfig overload_;
+  /// Admission-gate hysteresis state (deliberately not snapshotted).
+  bool admission_closed_ = false;
   ProxyStats stats_;
 };
 

@@ -5,6 +5,7 @@
 // the proxy forwards only the difference that improves the device's set.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -36,5 +37,60 @@ struct ReadRecord {
   SimTime time = 0;
   int n = 0;
 };
+
+/// Why a READ (or sync) was rejected at the protocol boundary. The proxy
+/// faces an untrusted device: a malformed request must produce a protocol
+/// error, not a crashed proxy. Unknown ids in client_events stay tolerated
+/// by design — the proxy treats them as top-ranked, which only *reduces*
+/// what it forwards, so they cannot be used to extract extra data.
+enum class ReadStatus : std::uint8_t {
+  kOk = 0,
+  /// n negative or past kMaxReadN.
+  kBadN = 1,
+  /// queue_size past kMaxReadQueueSize (no real device holds that many).
+  kBadQueueSize = 2,
+  /// More client_events than the n the request asks for.
+  kTooManyClientEvents = 3,
+  /// The same id listed twice in client_events.
+  kDuplicateClientEvent = 4,
+  /// The proxy does not manage the addressed topic (Proxy::try_read).
+  kUnknownTopic = 5,
+};
+
+/// Largest n a READ may request; far above any real subscription Max.
+inline constexpr int kMaxReadN = 1 << 16;
+/// Largest queue_size a device may report.
+inline constexpr std::size_t kMaxReadQueueSize = std::size_t{1} << 24;
+
+/// Validates the wire-level fields of a READ. Pure; no proxy state touched.
+inline ReadStatus validate_read(const ReadRequest& request) {
+  if (request.n < 0 || request.n > kMaxReadN) return ReadStatus::kBadN;
+  if (request.queue_size > kMaxReadQueueSize) return ReadStatus::kBadQueueSize;
+  if (request.client_events.size() > static_cast<std::size_t>(request.n))
+    return ReadStatus::kTooManyClientEvents;
+  if (request.client_events.size() > 1) {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(request.client_events.size());
+    for (const NotificationId& id : request.client_events)
+      ids.push_back(id.value);
+    std::sort(ids.begin(), ids.end());
+    if (std::adjacent_find(ids.begin(), ids.end()) != ids.end())
+      return ReadStatus::kDuplicateClientEvent;
+  }
+  return ReadStatus::kOk;
+}
+
+/// Human-readable name for logs and tests.
+inline const char* read_status_name(ReadStatus status) {
+  switch (status) {
+    case ReadStatus::kOk: return "ok";
+    case ReadStatus::kBadN: return "bad-n";
+    case ReadStatus::kBadQueueSize: return "bad-queue-size";
+    case ReadStatus::kTooManyClientEvents: return "too-many-client-events";
+    case ReadStatus::kDuplicateClientEvent: return "duplicate-client-event";
+    case ReadStatus::kUnknownTopic: return "unknown-topic";
+  }
+  return "?";
+}
 
 }  // namespace waif::core

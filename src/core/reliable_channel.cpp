@@ -17,6 +17,15 @@ constexpr std::size_t kFrameHeaderBytes = 72;
 constexpr std::size_t kAckBytes = 16;
 }  // namespace
 
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
 ReliableDeviceChannel::ReliableDeviceChannel(sim::Simulator& sim,
                                              net::Link& link,
                                              device::Device& device,
@@ -30,6 +39,10 @@ ReliableDeviceChannel::ReliableDeviceChannel(sim::Simulator& sim,
   WAIF_CHECK(config.max_attempts > 0);
   WAIF_CHECK(config.window > 0);
   WAIF_CHECK(config.dedup_window > 0);
+  if (config.breaker_failure_threshold > 0) {
+    WAIF_CHECK(config.breaker_cooldown > 0);
+    WAIF_CHECK(config.breaker_half_open_probes > 0);
+  }
   link_.on_state_change([this](net::LinkState state) {
     if (state != net::LinkState::kUp) return;
     // Retransmit every transfer that timed out during the outage, in
@@ -62,6 +75,11 @@ void ReliableDeviceChannel::set_ack_observer(
   ack_observer_ = std::move(observer);
 }
 
+void ReliableDeviceChannel::set_breaker_observer(
+    std::function<void(BreakerState)> observer) {
+  breaker_observer_ = std::move(observer);
+}
+
 ChannelSnapshot ReliableDeviceChannel::snapshot() const {
   ChannelSnapshot snap;
   snap.next_seq = next_seq_;
@@ -85,10 +103,29 @@ void ReliableDeviceChannel::crash_proxy_side() {
   for (auto& [seq, transfer] : in_flight_) transfer.timer.cancel();
   in_flight_.clear();
   backlog_.clear();
+  // The breaker is process-transient state, like the connection itself: the
+  // recovered proxy re-learns a slow device from fresh evidence.
+  cooldown_timer_.cancel();
+  breaker_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  probes_left_ = 0;
+}
+
+bool ReliableDeviceChannel::accepting() const {
+  if (breaker_ == BreakerState::kOpen) return false;
+  if (breaker_ == BreakerState::kHalfOpen && probes_left_ == 0) return false;
+  if (config_.max_backlog > 0 && backlog_.size() >= config_.max_backlog) {
+    return false;
+  }
+  return true;
 }
 
 bool ReliableDeviceChannel::deliver(const NotificationPtr& notification) {
   ++stats_.accepted;
+  if (breaker_ == BreakerState::kHalfOpen && probes_left_ > 0) {
+    --probes_left_;
+    ++stats_.breaker_probes;
+  }
   if (in_flight_.size() >= config_.window) {
     backlog_.push_back(notification);
     return true;
@@ -198,6 +235,10 @@ void ReliableDeviceChannel::on_ack(std::uint64_t seq) {
   const NotificationPtr event = std::move(it->second.event);
   in_flight_.erase(it);
   ++stats_.acked;
+  // Any completed round trip proves the device responsive: the breaker's
+  // failure streak resets, and an open/half-open breaker recloses.
+  consecutive_failures_ = 0;
+  if (breaker_ != BreakerState::kClosed) close_breaker();
   if (ack_observer_) ack_observer_(event);
   admit_from_backlog();
 }
@@ -218,24 +259,78 @@ void ReliableDeviceChannel::on_timeout(std::uint64_t seq) {
     fail(std::move(abandoned), /*expired=*/false);
     return;
   }
-  transfer.timeout = std::min<SimDuration>(
-      config_.max_backoff,
-      static_cast<SimDuration>(static_cast<double>(transfer.timeout) *
-                               config_.backoff_factor));
+  // Clamp in double space *before* converting back: past ~62 doublings the
+  // product exceeds SimDuration's range and the float->int cast would be
+  // undefined behaviour. Comparing as doubles first keeps the stepwise
+  // multiply semantics bit-identical for every in-range config.
+  const double next = static_cast<double>(transfer.timeout) *
+                      config_.backoff_factor;
+  transfer.timeout = next >= static_cast<double>(config_.max_backoff)
+                         ? config_.max_backoff
+                         : static_cast<SimDuration>(next);
   transmit(seq);
 }
 
 void ReliableDeviceChannel::fail(Transfer transfer, bool expired) {
   if (expired) {
+    // Expirations say nothing about the device's health; only exhausted
+    // retry ladders (ACK starvation on a live link) feed the breaker.
     ++stats_.expired_abandoned;
   } else {
     ++stats_.attempts_exhausted;
+    note_exhaustion();
     if (failure_handler_) {
       ++stats_.requeued;
       failure_handler_(transfer.event);
     }
   }
   admit_from_backlog();
+}
+
+// ------------------------------------------------------------ circuit breaker
+
+void ReliableDeviceChannel::note_exhaustion() {
+  if (config_.breaker_failure_threshold == 0) return;
+  switch (breaker_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.breaker_failure_threshold) {
+        trip_breaker();
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // A probe died on the vine: the device is still unresponsive.
+      trip_breaker();
+      break;
+    case BreakerState::kOpen:
+      // A transfer admitted before the trip finished its retry ladder while
+      // the breaker was already open; the cooldown is already running.
+      break;
+  }
+}
+
+void ReliableDeviceChannel::trip_breaker() {
+  breaker_ = BreakerState::kOpen;
+  consecutive_failures_ = 0;
+  probes_left_ = 0;
+  ++stats_.breaker_trips;
+  cooldown_timer_.cancel();
+  cooldown_timer_ = sim_.schedule_after(config_.breaker_cooldown,
+                                        [this] { enter_half_open(); });
+  if (breaker_observer_) breaker_observer_(breaker_);
+}
+
+void ReliableDeviceChannel::enter_half_open() {
+  breaker_ = BreakerState::kHalfOpen;
+  probes_left_ = config_.breaker_half_open_probes;
+  if (breaker_observer_) breaker_observer_(breaker_);
+}
+
+void ReliableDeviceChannel::close_breaker() {
+  breaker_ = BreakerState::kClosed;
+  probes_left_ = 0;
+  cooldown_timer_.cancel();
+  ++stats_.breaker_closes;
+  if (breaker_observer_) breaker_observer_(breaker_);
 }
 
 void ReliableDeviceChannel::admit_from_backlog() {

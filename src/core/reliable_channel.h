@@ -57,7 +57,30 @@ struct ReliableChannelConfig {
   std::size_t window = 32;
   /// Device-side duplicate-suppression memory, in sequence numbers.
   std::size_t dedup_window = 4096;
+  /// Backpressure: once the backlog holds this many waiting transfers the
+  /// channel stops accepting() new ones (the proxy then holds events in its
+  /// own rank-ordered queues, which shed canonically under a budget, rather
+  /// than in this FIFO). 0 = unbounded (the default; byte-identical).
+  std::size_t max_backlog = 0;
+  /// Circuit breaker: consecutive exhausted transfers (ACK starvation on a
+  /// live link) before the breaker trips into hold-only mode. 0 disables
+  /// the breaker entirely (the default; byte-identical behaviour).
+  std::size_t breaker_failure_threshold = 0;
+  /// How long a tripped breaker stays open before probing half-open.
+  SimDuration breaker_cooldown = 5 * kMinute;
+  /// Transfers admitted while half-open; an ACK on any recloses the
+  /// breaker, another exhaustion re-opens it for a fresh cooldown.
+  std::size_t breaker_half_open_probes = 1;
 };
+
+/// Circuit-breaker state of a ReliableDeviceChannel: kClosed is normal
+/// operation; kOpen is hold-only (the device looked persistently
+/// unresponsive, nothing new is admitted); kHalfOpen admits a few probes to
+/// test whether the device recovered.
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+/// Human-readable name for logs and tables.
+const char* breaker_state_name(BreakerState state);
 
 struct ReliableChannelStats {
   /// deliver() calls admitted into the pipeline.
@@ -86,6 +109,12 @@ struct ReliableChannelStats {
   std::uint64_t attempts_exhausted = 0;
   /// Abandoned transfers handed back to the failure handler.
   std::uint64_t requeued = 0;
+  /// Circuit-breaker transitions: closed/half-open -> open.
+  std::uint64_t breaker_trips = 0;
+  /// Recoveries back to closed (an ACK while open or half-open).
+  std::uint64_t breaker_closes = 0;
+  /// Transfers admitted as half-open probes.
+  std::uint64_t breaker_probes = 0;
 };
 
 class ReliableDeviceChannel final : public DeviceChannel {
@@ -131,11 +160,28 @@ class ReliableDeviceChannel final : public DeviceChannel {
   /// own durable state.
   void crash_proxy_side();
 
+  /// Observes circuit-breaker transitions; wire a try_forwarding nudge here
+  /// so held events flow again the moment the breaker recloses (the proxy
+  /// is otherwise only woken by arrivals, reads and link changes).
+  void set_breaker_observer(std::function<void(BreakerState)> observer);
+
+  BreakerState breaker_state() const { return breaker_; }
+  /// Exhausted transfers since the last ACK (the breaker's trip counter).
+  std::size_t consecutive_failures() const { return consecutive_failures_; }
+
   bool link_up() const override { return link_.is_up(); }
+
+  /// False while the breaker is open (or out of half-open probes), or while
+  /// the bounded backlog is full — the hold-only degraded mode: the proxy
+  /// keeps events queued on its side instead of handing them over.
+  bool accepting() const override;
 
   /// Admits one notification into the reliable pipeline. Returns true: the
   /// transfer is now the channel's responsibility (delivery, retry, or a
   /// failure-handler callback — exactly one of these eventually happens).
+  /// Callers are expected to consult accepting() first; the breaker gates
+  /// admission there, never mid-delivery (do_forward's bookkeeping must
+  /// match what the channel took on).
   bool deliver(const pubsub::NotificationPtr& notification) override;
 
   std::size_t in_flight() const { return in_flight_.size(); }
@@ -168,6 +214,15 @@ class ReliableDeviceChannel final : public DeviceChannel {
   void admit_from_backlog();
   /// Arms the ACK timer for the transfer's current backoff stage.
   void arm_timer(std::uint64_t seq, Transfer& transfer);
+  /// One exhausted transfer: counts toward the breaker threshold and trips
+  /// it (or re-opens a half-open probe that failed).
+  void note_exhaustion();
+  /// Trips the breaker open and arms the cooldown timer.
+  void trip_breaker();
+  /// Cooldown elapsed: admit probes.
+  void enter_half_open();
+  /// ACK observed: the device is alive — reclose from any state.
+  void close_breaker();
 
   sim::Simulator& sim_;
   net::Link& link_;
@@ -177,6 +232,14 @@ class ReliableDeviceChannel final : public DeviceChannel {
   std::function<void(const pubsub::NotificationPtr&)> failure_handler_;
   std::function<void(const pubsub::NotificationPtr&)> delivery_observer_;
   std::function<void(const pubsub::NotificationPtr&)> ack_observer_;
+  std::function<void(BreakerState)> breaker_observer_;
+
+  // Circuit-breaker state (transient: not snapshotted — a recovered proxy
+  // re-learns a slow device from fresh evidence).
+  BreakerState breaker_ = BreakerState::kClosed;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t probes_left_ = 0;
+  sim::EventHandle cooldown_timer_;
 
   std::uint64_t next_seq_ = 1;
   // Ordered map: link-recovery retransmissions walk it in sequence order,

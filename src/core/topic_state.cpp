@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "core/overload.h"
 
 namespace waif::core {
 
@@ -85,8 +86,14 @@ void TopicState::handle_notification(const NotificationPtr& event) {
     // Rank is above (or at) the threshold.
     if (config_.mode == DeliveryMode::kOnLine ||
         config_.policy.kind == PolicyKind::kOnline) {
+      // Arm the expiration timer even here: a gate (day budget, quiet
+      // window) or outage can strand the event in outgoing past its
+      // lifetime, and an unjournaled lazy skip at forward time would
+      // diverge from the recovery mirror.
+      track_expiration(event);
       outgoing_.insert(event);  // send to client ASAP
       placement.stage = JournalStage::kOutgoing;
+      placement.exp_tracked = event->expires();
     } else if (event->rank >= config_.refinements.interrupt_threshold &&
                !forwarded_.contains(event->id.value)) {
       // Hybrid model (Section 2.2): an on-demand topic interrupts for events
@@ -124,6 +131,7 @@ void TopicState::handle_notification(const NotificationPtr& event) {
     record.rate_credit = rate_credit_;
     journal_->on_enqueue(topic_, record);
   }
+  after_queue_growth();
   try_forwarding();
 }
 
@@ -205,6 +213,21 @@ std::optional<TopicState::Placement> TopicState::refresh_known(
 }
 
 // ----------------------------------------------------------------------- READ
+
+ReadStatus TopicState::handle_read_checked(
+    const ReadRequest& request, std::vector<NotificationPtr>* difference) {
+  const ReadStatus status = validate_read(request);
+  if (status != ReadStatus::kOk) {
+    // A malformed request from an untrusted device: reject at the boundary.
+    // Nothing is journaled and no average trains — a flood of garbage READs
+    // cannot skew the adaptive state or the durable log.
+    ++stats_.protocol_errors;
+    return status;
+  }
+  std::vector<NotificationPtr> moved = handle_read(request);
+  if (difference != nullptr) *difference = std::move(moved);
+  return ReadStatus::kOk;
+}
 
 std::vector<NotificationPtr> TopicState::handle_read(const ReadRequest& request) {
   WAIF_CHECK(request.n >= 0);
@@ -304,6 +327,23 @@ std::vector<NotificationPtr> TopicState::handle_read(const ReadRequest& request)
   return difference;
 }
 
+ReadStatus TopicState::handle_sync_checked(
+    std::size_t queue_size, const std::vector<ReadRecord>& offline_reads,
+    std::uint64_t sync_id) {
+  if (queue_size > kMaxReadQueueSize) {
+    ++stats_.protocol_errors;
+    return ReadStatus::kBadQueueSize;
+  }
+  for (const ReadRecord& record : offline_reads) {
+    if (record.n < 0 || record.n > kMaxReadN) {
+      ++stats_.protocol_errors;
+      return ReadStatus::kBadN;
+    }
+  }
+  handle_sync(queue_size, offline_reads, sync_id);
+  return ReadStatus::kOk;
+}
+
 void TopicState::handle_sync(std::size_t queue_size,
                              const std::vector<ReadRecord>& offline_reads,
                              std::uint64_t sync_id) {
@@ -340,6 +380,10 @@ void TopicState::handle_network(net::LinkState status) {
 
 void TopicState::try_forwarding() {
   if (!channel_.link_up()) return;
+  // A channel whose circuit breaker tripped holds everything: events stay
+  // queued (hold-only degraded mode) until the breaker recloses and the
+  // observer nudges try_forwarding again.
+  if (!channel_.accepting()) return;
 
   // First empty the outgoing queue — unless a Section 2.2 gate (quiet
   // window, digest schedule, daily budget) holds an on-line topic back.
@@ -514,6 +558,7 @@ void TopicState::requeue_undelivered(const NotificationPtr& event) {
   arm_expiration_timer(event);
   holding_.insert(event);
   ++stats_.held;
+  after_queue_growth();
 }
 
 // ------------------------------------------------------------------- timeouts
@@ -556,7 +601,67 @@ void TopicState::on_delay_elapsed(NotificationId id) {
     record.rate_credit = rate_credit_;
     journal_->on_enqueue(topic_, record);
   }
+  after_queue_growth();
   try_forwarding();
+}
+
+// ------------------------------------------------------- overload protection
+
+std::vector<NotificationPtr> TopicState::queued_events() const {
+  std::vector<NotificationPtr> events;
+  events.reserve(queued_total());
+  std::unordered_set<std::uint64_t> seen;
+  for (const RankedQueue* queue : {&outgoing_, &prefetch_, &holding_}) {
+    for (const NotificationPtr& event : *queue) {
+      if (seen.insert(event->id.value).second) events.push_back(event);
+    }
+  }
+  return events;
+}
+
+NotificationPtr TopicState::shed_candidate() const {
+  NotificationPtr worst;
+  for (const RankedQueue* queue : {&outgoing_, &prefetch_, &holding_}) {
+    for (const NotificationPtr& event : *queue) {
+      if (worst == nullptr || shed_before(*event, *worst)) worst = event;
+    }
+  }
+  return worst;
+}
+
+bool TopicState::shed_one() {
+  const NotificationPtr victim = shed_candidate();
+  if (victim == nullptr) return false;
+  // Journal while the victim is still queued (mirrors on_expiration): the
+  // WAL then always orders an event's enqueue before its shed, and an
+  // observing journal can verify the canonical order against the live
+  // queues.
+  if (journal_ != nullptr) journal_->on_shed(topic_, victim, sim_.now());
+  const NotificationId id = victim->id;
+  outgoing_.erase(id);
+  prefetch_.erase(id);
+  holding_.erase(id);
+  // An interrupt leaves a copy in the delay stage; shedding must free that
+  // too, or the memory the budget exists to bound is not actually released.
+  if (auto it = pending_delay_.find(id.value); it != pending_delay_.end()) {
+    it->second.timer.cancel();
+    pending_delay_.erase(it);
+  }
+  if (auto it = expiration_timers_.find(id.value);
+      it != expiration_timers_.end()) {
+    it->second.timer.cancel();
+    expiration_timers_.erase(it);
+  }
+  ++stats_.shed;
+  return true;
+}
+
+void TopicState::after_queue_growth() {
+  if (queue_budget_ > 0) {
+    while (queued_total() > queue_budget_ && shed_one()) {
+    }
+  }
+  if (overflow_hook_) overflow_hook_();
 }
 
 // ------------------------------------------------------------ adaptive state

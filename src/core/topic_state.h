@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -63,6 +64,8 @@ struct TopicStats {
   std::uint64_t duplicate_reads = 0;       // retried READs absorbed by id
   std::uint64_t duplicate_syncs = 0;       // retried syncs absorbed by id
   std::uint64_t forward_aborts = 0;        // journal refused (failed fsync)
+  std::uint64_t shed = 0;                  // dropped by the overload budget
+  std::uint64_t protocol_errors = 0;       // malformed READ/sync rejected
 };
 
 class TopicState {
@@ -85,6 +88,44 @@ class TopicState {
   /// journal the behaviour is bit-identical to a build without one.
   void set_journal(ProxyJournal* journal) { journal_ = journal; }
 
+  // --- overload protection (core/overload.h) -------------------------------
+
+  /// Caps the events across outgoing+prefetch+holding (the delay stage is
+  /// excluded — its events re-enter through prefetch, where the budget
+  /// catches them at release). 0 = unbounded (the default: byte-identical
+  /// behaviour). When a mutation pushes the total past the budget, events
+  /// are shed in canonical order (overload.h shed_before), each journaled
+  /// via ProxyJournal::on_shed before erasure.
+  void set_queue_budget(std::size_t budget) { queue_budget_ = budget; }
+  std::size_t queue_budget() const { return queue_budget_; }
+
+  /// Hook invoked after any mutation that grew the queues (and after the
+  /// topic budget was enforced) — the proxy hangs its proxy-wide budget
+  /// here. Must not re-enter this topic's entry points.
+  void set_overflow_hook(std::function<void()> hook) {
+    overflow_hook_ = std::move(hook);
+  }
+
+  /// Events currently across outgoing+prefetch+holding (what the budget
+  /// bounds; the delay stage is excluded by design).
+  std::size_t queued_total() const {
+    return outgoing_.size() + prefetch_.size() + holding_.size();
+  }
+
+  /// All budget-visible events (outgoing ∪ prefetch ∪ holding), deduplicated
+  /// by id, in unspecified order. For overload verification in tests and the
+  /// chaos harness.
+  std::vector<pubsub::NotificationPtr> queued_events() const;
+
+  /// The event the budget would shed next (the canonical worst across the
+  /// three queues), or nullptr when they are empty.
+  pubsub::NotificationPtr shed_candidate() const;
+
+  /// Sheds the canonical worst event: journals on_shed, then erases it from
+  /// every queue and cancels its timers. Returns false when nothing is
+  /// queued. The proxy's global-budget enforcement calls this directly.
+  bool shed_one();
+
   /// Captures the full durable state (see core/snapshot.h).
   TopicSnapshot snapshot() const;
 
@@ -106,8 +147,17 @@ class TopicState {
   /// READ(N, queue_size, client_events): the user triggered a read on the
   /// device and the link carried the request here. Returns the `difference`
   /// set that was moved to outgoing and forwarded — the events the device
-  /// lacked.
+  /// lacked. Pre: the request is well-formed (trusted callers); untrusted
+  /// input goes through handle_read_checked.
   std::vector<pubsub::NotificationPtr> handle_read(const ReadRequest& request);
+
+  /// READ with protocol-boundary validation: a malformed request (negative
+  /// or absurd N, oversized queue_size, duplicate client_events) is counted
+  /// as a protocol error and rejected without touching any state — no
+  /// journal record, no average trained, nothing forwarded. On kOk behaves
+  /// exactly like handle_read, filling `difference` when non-null.
+  ReadStatus handle_read_checked(const ReadRequest& request,
+                                 std::vector<pubsub::NotificationPtr>* difference);
 
   /// Queue-state sync from the device: after reads performed while the link
   /// was down, the device reports its true queue size and the log of offline
@@ -120,6 +170,13 @@ class TopicState {
   void handle_sync(std::size_t queue_size,
                    const std::vector<ReadRecord>& offline_reads = {},
                    std::uint64_t sync_id = 0);
+
+  /// handle_sync with protocol-boundary validation (untrusted device input):
+  /// an oversized queue_size or an out-of-range offline-read N rejects the
+  /// whole sync as a protocol error, touching no state.
+  ReadStatus handle_sync_checked(std::size_t queue_size,
+                                 const std::vector<ReadRecord>& offline_reads = {},
+                                 std::uint64_t sync_id = 0);
 
   /// NETWORK(status): the last hop changed state.
   void handle_network(net::LinkState status);
@@ -221,6 +278,10 @@ class TopicState {
   /// delay_timeout(event): the delay stage released an event to prefetch.
   void on_delay_elapsed(NotificationId id);
 
+  /// Called after any mutation that grew the budget-visible queues: sheds
+  /// down to the topic budget, then gives the proxy's overflow hook a turn.
+  void after_queue_growth();
+
   /// Transfers one event over the channel and updates the bookkeeping.
   /// Returns false when the event was dropped instead (expired).
   bool do_forward(const pubsub::NotificationPtr& event,
@@ -267,6 +328,10 @@ class TopicState {
   bool in_digest_ = false;
   sim::EventHandle gate_wake_;
   std::vector<sim::EventHandle> digest_timers_;
+
+  // Overload protection: 0 = unbounded; see core/overload.h.
+  std::size_t queue_budget_ = 0;
+  std::function<void()> overflow_hook_;
 
   ProxyJournal* journal_ = nullptr;
   TopicStats stats_;

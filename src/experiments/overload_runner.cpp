@@ -1,0 +1,554 @@
+#include "experiments/overload_runner.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/channel.h"
+#include "core/proxy.h"
+#include "core/read_protocol.h"
+#include "device/device.h"
+#include "metrics/inefficiency.h"
+#include "net/link.h"
+#include "pubsub/broker.h"
+#include "pubsub/publisher.h"
+#include "pubsub/subscriber.h"
+#include "sim/simulator.h"
+#include "storage/backend.h"
+#include "storage/snapshot.h"
+#include "workload/serialization.h"
+#include "workload/trace.h"
+
+namespace waif::experiments {
+
+namespace {
+
+constexpr char kAdaptiveTopic[] = "overload/adaptive";
+constexpr char kBufferTopic[] = "overload/buffer";
+constexpr char kOnlineTopic[] = "overload/online";
+
+/// Same three-way split as the recovery harness: an adaptive topic with a
+/// delay stage, a buffer topic with a holding queue and interrupts, and an
+/// on-line topic — so shedding crosses every queue and journal stage.
+std::map<std::string, core::TopicConfig> topic_configs(
+    const workload::ScenarioConfig& scenario) {
+  std::map<std::string, core::TopicConfig> configs;
+  {
+    core::TopicConfig config;
+    config.options.max = scenario.max;
+    config.options.threshold = scenario.threshold;
+    config.policy = core::PolicyConfig::adaptive();
+    config.policy.delay = 30 * kMinute;
+    configs.emplace(kAdaptiveTopic, config);
+  }
+  {
+    core::TopicConfig config;
+    config.options.max = scenario.max;
+    config.options.threshold = scenario.threshold;
+    config.policy = core::PolicyConfig::buffer(8, 2 * kHour);
+    config.refinements.interrupt_threshold = 4.8;
+    configs.emplace(kBufferTopic, config);
+  }
+  {
+    core::TopicConfig config;
+    config.mode = core::DeliveryMode::kOnLine;
+    config.options.max = scenario.max;
+    config.options.threshold = scenario.threshold;
+    config.policy = core::PolicyConfig::online();
+    config.refinements.max_per_day = 16;
+    configs.emplace(kOnlineTopic, config);
+  }
+  return configs;
+}
+
+struct TopicTrace {
+  std::string topic;
+  workload::Trace trace;
+};
+
+/// One trace per topic from independent RNG substreams; only the adaptive
+/// topic's outage schedule drives the (single) link. Rank changes stay off —
+/// the overload sweep measures shedding, not rank churn.
+std::vector<TopicTrace> build_traces(const OverloadPlan& plan) {
+  workload::ScenarioConfig adaptive = plan.scenario;
+  adaptive.rank_drop_fraction = 0.0;
+  adaptive.rank_raise_fraction = 0.0;
+
+  workload::ScenarioConfig buffer = adaptive;
+  buffer.event_frequency = adaptive.event_frequency * 0.75;
+  buffer.expiring_fraction = 1.0;
+  buffer.mean_expiration = 4 * kHour;
+  buffer.outage_fraction = 0.0;
+
+  workload::ScenarioConfig online = adaptive;
+  online.event_frequency = adaptive.event_frequency * 0.5;
+  online.expiring_fraction = 0.0;
+  online.mean_expiration = 0;
+  online.outage_fraction = 0.0;
+
+  std::uint64_t state = plan.seed;
+  std::vector<TopicTrace> traces;
+  traces.push_back(
+      {kAdaptiveTopic, workload::generate_trace(adaptive, splitmix64(state))});
+  traces.push_back(
+      {kBufferTopic, workload::generate_trace(buffer, splitmix64(state))});
+  traces.push_back(
+      {kOnlineTopic, workload::generate_trace(online, splitmix64(state))});
+  return traces;
+}
+
+class Relay final : public pubsub::Subscriber {
+ public:
+  explicit Relay(std::function<void(const pubsub::NotificationPtr&)> fn)
+      : fn_(std::move(fn)) {}
+
+  void on_notification(const pubsub::NotificationPtr& notification) override {
+    fn_(notification);
+  }
+
+ private:
+  std::function<void(const pubsub::NotificationPtr&)> fn_;
+};
+
+/// Guards the proxy -> channel boundary. Unlike the recovery harness's
+/// wrapper this one forwards accepting(): the breaker's hold-only mode only
+/// works if the proxy can see it through whatever channel it holds.
+class GuardChannel final : public core::DeviceChannel {
+ public:
+  GuardChannel(sim::Simulator& sim, core::DeviceChannel& inner,
+               std::uint64_t* expired_deliveries)
+      : sim_(sim), inner_(inner), expired_deliveries_(expired_deliveries) {}
+
+  bool link_up() const override { return inner_.link_up(); }
+  bool accepting() const override { return inner_.accepting(); }
+
+  bool deliver(const pubsub::NotificationPtr& notification) override {
+    if (notification->expired_at(sim_.now())) ++*expired_deliveries_;
+    return inner_.deliver(notification);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  core::DeviceChannel& inner_;
+  std::uint64_t* expired_deliveries_;
+};
+
+/// Sits between the proxy and the persistence layer: forwards every hook
+/// unchanged, counts on_shed firings, and verifies each shed victim is the
+/// canonical worst of its topic (overload.h shed_before) at journal time —
+/// on_shed fires while the victim is still queued, so the check sees the
+/// victim among the candidates.
+class JournalTee final : public core::ProxyJournal {
+ public:
+  void wire(core::Proxy* proxy, storage::ProxyPersistence* inner,
+            OverloadOutcome* outcome) {
+    proxy_ = proxy;
+    inner_ = inner;
+    outcome_ = outcome;
+  }
+
+  void on_enqueue(const std::string& topic,
+                  const core::EnqueueRecord& record) override {
+    if (inner_ != nullptr) inner_->on_enqueue(topic, record);
+  }
+
+  bool on_forward(const std::string& topic,
+                  const pubsub::NotificationPtr& event, SimTime at,
+                  double rate_credit, bool replicated) override {
+    return inner_ == nullptr ||
+           inner_->on_forward(topic, event, at, rate_credit, replicated);
+  }
+
+  void on_read(const std::string& topic, std::uint64_t request_id, int n,
+               std::size_t queue_size, SimTime at) override {
+    if (inner_ != nullptr) inner_->on_read(topic, request_id, n, queue_size, at);
+  }
+
+  void on_sync(const std::string& topic, std::size_t queue_size,
+               std::uint64_t sync_id,
+               const std::vector<core::ReadRecord>& offline_reads,
+               SimTime at) override {
+    if (inner_ != nullptr) {
+      inner_->on_sync(topic, queue_size, sync_id, offline_reads, at);
+    }
+  }
+
+  void on_expire(const std::string& topic, NotificationId id, bool timer_fired,
+                 SimTime at) override {
+    if (inner_ != nullptr) inner_->on_expire(topic, id, timer_fired, at);
+  }
+
+  void on_requeue(const std::string& topic,
+                  const pubsub::NotificationPtr& event, SimTime at) override {
+    if (inner_ != nullptr) inner_->on_requeue(topic, event, at);
+  }
+
+  void on_shed(const std::string& topic, const pubsub::NotificationPtr& event,
+               SimTime at) override {
+    ++outcome_->journaled_sheds;
+    if (const core::TopicState* state = proxy_->topic(topic)) {
+      for (const pubsub::NotificationPtr& candidate : state->queued_events()) {
+        if (candidate->id.value != event->id.value &&
+            core::shed_before(*candidate, *event)) {
+          ++outcome_->shed_order_violations;
+        }
+      }
+    }
+    if (inner_ != nullptr) inner_->on_shed(topic, event, at);
+  }
+
+ private:
+  core::Proxy* proxy_ = nullptr;
+  storage::ProxyPersistence* inner_ = nullptr;
+  OverloadOutcome* outcome_ = nullptr;
+};
+
+/// A TopicSnapshot's canonical serialization, for byte-comparisons.
+std::vector<std::uint8_t> canonical_bytes(const std::string& topic,
+                                          const core::TopicSnapshot& state) {
+  storage::ProxySnapshot wrapper;
+  wrapper.topics.emplace_back(topic, state);
+  return storage::encode_snapshot(wrapper);
+}
+
+class OverloadHarness {
+ public:
+  explicit OverloadHarness(const OverloadPlan& plan)
+      : plan_(plan),
+        configs_(topic_configs(plan.scenario)),
+        traces_(build_traces(plan)),
+        sim_(),
+        broker_(sim_, std::max<std::size_t>(
+                          total_arrivals() +
+                              plan.storm_bursts * plan.storm_size,
+                          1)),
+        link_(sim_),
+        device_(sim_, DeviceId{1}),
+        relay_([this](const pubsub::NotificationPtr& notification) {
+          proxy_.on_notification(notification);
+          sample_queues();
+        }),
+        publisher_(broker_, "workload"),
+        reliable_(sim_, link_, device_, plan.channel,
+                  channel_seed(plan.seed)),
+        guard_(sim_, reliable_, &expired_deliveries_),
+        proxy_(sim_, guard_, "overload-proxy") {
+    for (const auto& [topic, config] : configs_) proxy_.add_topic(topic, config);
+    proxy_.set_overload(plan_.overload);
+
+    if (plan_.persist) {
+      persistence_.emplace(sim_, backend_, plan_.persistence);
+      persistence_->set_channel(&reliable_);
+      persistence_->attach(proxy_);
+    }
+    // The tee interposes on whatever attach() installed.
+    tee_.wire(&proxy_, persistence_ ? &*persistence_ : nullptr, &outcome_);
+    proxy_.set_journal(&tee_);
+
+    reliable_.set_delivery_observer(
+        [this](const pubsub::NotificationPtr& event) {
+          WAIF_CHECK(!event->expired_at(sim_.now()));
+        });
+    reliable_.set_failure_handler(
+        [this](const pubsub::NotificationPtr& event) {
+          if (core::TopicState* topic = proxy_.topic(event->topic)) {
+            topic->requeue_undelivered(event);
+            sample_queues();
+          }
+        });
+    // Held events flow again the moment the breaker admits transfers.
+    reliable_.set_breaker_observer([this](core::BreakerState state) {
+      if (state != core::BreakerState::kOpen) wake_forwarding();
+    });
+
+    for (const auto& [topic, config] : configs_) {
+      device_.set_topic_threshold(topic, config.options.threshold);
+      broker_.subscribe(topic, relay_, config.options);
+      publisher_.advertise(topic);
+    }
+
+    link_.on_state_change([this](net::LinkState state) {
+      proxy_.handle_network(state);
+      if (state == net::LinkState::kUp) flush_pending_syncs();
+    });
+    link_.apply_schedule(traces_[0].trace.outages);
+
+    for (const TopicTrace& entry : traces_) {
+      const std::string& topic = entry.topic;
+      for (const workload::Arrival& arrival : entry.trace.arrivals) {
+        sim_.schedule_at(arrival.time, [this, &topic, arrival] {
+          publisher_.publish(topic, arrival.rank, arrival.lifetime);
+        });
+      }
+      for (SimTime read_at : entry.trace.reads) {
+        sim_.schedule_at(read_at, [this, &topic] { do_read(topic); });
+      }
+    }
+
+    schedule_storm();
+    schedule_stalls();
+  }
+
+  ~OverloadHarness() {
+    if (persistence_) persistence_->detach();
+  }
+
+  OverloadOutcome run() {
+    sim_.run_until(plan_.scenario.horizon);
+
+    outcome_.read_digest = digest_.value();
+    outcome_.arrivals = proxy_.stats().notifications;
+    outcome_.admission_rejects = proxy_.stats().admission_rejects;
+    for (const std::string& name : proxy_.topic_names()) {
+      outcome_.shed += proxy_.topic(name)->stats().shed;
+    }
+    const core::ReliableChannelStats& channel = reliable_.stats();
+    outcome_.breaker_trips = channel.breaker_trips;
+    outcome_.breaker_closes = channel.breaker_closes;
+    outcome_.breaker_probes = channel.breaker_probes;
+    outcome_.attempts_exhausted = channel.attempts_exhausted;
+    outcome_.requeued = channel.requeued;
+    outcome_.final_queued = proxy_.total_queued();
+    outcome_.shed_pct =
+        outcome_.shed <= outcome_.arrivals
+            ? metrics::shed_percent(outcome_.arrivals, outcome_.shed)
+            : 100.0;
+
+    // Safety: nothing expired ever reached the transport, and every shed the
+    // topics counted went through the journal hook.
+    WAIF_CHECK(expired_deliveries_ == 0);
+    WAIF_CHECK(outcome_.journaled_sheds == outcome_.shed);
+
+    if (plan_.persist) {
+      outcome_.records_logged = persistence_->record_count();
+      verify_recovery_image();
+    }
+    return outcome_;
+  }
+
+ private:
+  static std::uint64_t channel_seed(std::uint64_t seed) {
+    std::uint64_t state = seed ^ 0x52E11AB1Eull;
+    return splitmix64(state);
+  }
+
+  std::size_t total_arrivals() const {
+    std::size_t total = 0;
+    for (const TopicTrace& entry : traces_) {
+      total += entry.trace.arrivals.size();
+    }
+    return total;
+  }
+
+  void schedule_storm() {
+    if (plan_.storm_bursts == 0 || plan_.storm_size == 0) return;
+    std::uint64_t state = plan_.seed ^ 0x5702u;
+    Rng rng(splitmix64(state));
+    const std::vector<std::string> topics = overload_topics();
+    const SimTime start = plan_.scenario.horizon / 4;
+    for (std::size_t burst = 0; burst < plan_.storm_bursts; ++burst) {
+      const SimTime at =
+          start + static_cast<SimDuration>(burst) * plan_.storm_spacing;
+      if (at >= plan_.scenario.horizon) break;
+      for (std::size_t k = 0; k < plan_.storm_size; ++k) {
+        const std::string topic =
+            topics[(burst * plan_.storm_size + k) % topics.size()];
+        const double rank = 1.0 + 4.0 * rng.next_double();
+        // Half the storm expires quickly — shedding then has both orderings
+        // (rank first, soonest expiration second) to exercise.
+        const SimDuration lifetime =
+            (k % 2 == 0)
+                ? 2 * kHour + static_cast<SimDuration>(rng.next_below(
+                                  static_cast<std::uint64_t>(2 * kHour)))
+                : kNever;
+        sim_.schedule_at(at + static_cast<SimDuration>(k) * kSecond,
+                         [this, topic, rank, lifetime] {
+                           publisher_.publish(topic, rank, lifetime);
+                         });
+      }
+    }
+  }
+
+  void schedule_stalls() {
+    if (plan_.stall_count == 0 || plan_.stall_duration <= 0) return;
+    std::uint64_t state = plan_.seed ^ 0x57A11u;
+    for (std::size_t i = 0; i < plan_.stall_count; ++i) {
+      const SimTime start = plan_.scenario.horizon *
+                            static_cast<SimTime>(i + 1) /
+                            static_cast<SimTime>(plan_.stall_count + 1);
+      const std::uint64_t stall_seed = splitmix64(state);
+      const std::uint64_t clear_seed = splitmix64(state);
+      sim_.schedule_at(start, [this, stall_seed] {
+        net::FaultConfig fault;
+        fault.uplink_drop_probability = 1.0;  // every ACK vanishes
+        link_.set_fault_model(fault, stall_seed);
+      });
+      sim_.schedule_at(start + plan_.stall_duration, [this, clear_seed] {
+        link_.set_fault_model(net::FaultConfig{}, clear_seed);
+      });
+    }
+  }
+
+  void wake_forwarding() {
+    for (const std::string& name : proxy_.topic_names()) {
+      proxy_.topic(name)->try_forwarding();
+    }
+    sample_queues();
+  }
+
+  /// Samples queue occupancy. Called only after a mutation fully settled
+  /// (budgets enforced), never from inside one — on_enqueue fires before
+  /// enforcement and may legitimately see budget+1.
+  void sample_queues() {
+    std::size_t total = 0;
+    std::size_t worst = 0;
+    for (const std::string& name : proxy_.topic_names()) {
+      const std::size_t queued = proxy_.topic(name)->queued_total();
+      total += queued;
+      worst = std::max(worst, queued);
+    }
+    outcome_.peak_queued = std::max(outcome_.peak_queued, total);
+    outcome_.peak_topic_queued = std::max(outcome_.peak_topic_queued, worst);
+  }
+
+  void send_read(const std::string& topic,
+                 const pubsub::SubscriptionOptions& options) {
+    core::ReadRequest request;
+    request.request_id = next_request_id_++;
+    request.n = options.max;
+    request.queue_size = device_.queue_size(topic);
+    request.client_events =
+        device_.top_ids(topic, options.max, options.threshold);
+    constexpr std::size_t kRequestHeaderBytes = 32;
+    constexpr std::size_t kBytesPerId = 8;
+    link_.record_uplink(kRequestHeaderBytes +
+                        kBytesPerId * request.client_events.size());
+    // The harness builds well-formed requests; a rejection here would mean
+    // the validation layer broke.
+    WAIF_CHECK(proxy_.try_read(topic, request) == core::ReadStatus::kOk);
+  }
+
+  void flush_pending_syncs() {
+    if (!link_.is_up()) return;
+    const auto pending = std::move(pending_sync_);
+    pending_sync_.clear();
+    for (const auto& [topic, offline_reads] : pending) {
+      constexpr std::size_t kSyncBytes = 16;
+      constexpr std::size_t kBytesPerRecord = 12;
+      link_.record_uplink(kSyncBytes + kBytesPerRecord * offline_reads.size());
+      WAIF_CHECK(proxy_.try_sync(topic, device_.queue_size(topic),
+                                 offline_reads, next_request_id_++) ==
+                 core::ReadStatus::kOk);
+    }
+    sample_queues();
+  }
+
+  void do_read(const std::string& topic) {
+    const core::TopicConfig& config = configs_.at(topic);
+    const pubsub::SubscriptionOptions& options = config.options;
+    const bool online = link_.is_up() && !device_.battery_dead();
+    const core::PolicyKind kind = config.policy.kind;
+    const bool prefetching = kind == core::PolicyKind::kBufferPrefetch ||
+                             kind == core::PolicyKind::kRatePrefetch ||
+                             kind == core::PolicyKind::kAdaptive;
+    if (online) {
+      send_read(topic, options);
+    } else if (prefetching && !device_.battery_dead()) {
+      pending_sync_[topic].push_back(core::ReadRecord{sim_.now(), options.max});
+    }
+    const auto read = device_.read(topic, options.max, options.threshold,
+                                   /*charge_uplink=*/online);
+    ++outcome_.read_operations;
+    outcome_.total_read += read.size();
+
+    std::vector<std::uint64_t> ids;
+    ids.reserve(read.size());
+    for (const pubsub::NotificationPtr& event : read) {
+      ids.push_back(event->id.value);
+    }
+    std::sort(ids.begin(), ids.end());
+    digest_.i64(sim_.now());
+    digest_.str(topic);
+    digest_.u64(ids.size());
+    for (std::uint64_t id : ids) digest_.u64(id);
+    sample_queues();
+  }
+
+  /// No unjournaled drops: replay the whole WAL from scratch through the
+  /// recovery mirror and byte-compare the rebuilt per-topic images with the
+  /// live proxy's snapshots. An event shed without its on_shed record would
+  /// survive in the replayed image and break the comparison.
+  void verify_recovery_image() {
+    const storage::RecoveryResult recovery =
+        storage::ProxyPersistence::recover(backend_, configs_);
+    std::map<std::string, core::TopicSnapshot> replayed;
+    for (const auto& [name, image] : recovery.state.topics) {
+      replayed.emplace(name, image);
+    }
+    bool match = true;
+    for (const auto& [name, config] : configs_) {
+      core::TopicSnapshot recovered;  // empty when nothing was logged
+      if (auto it = replayed.find(name); it != replayed.end()) {
+        recovered = it->second;
+      }
+      const core::TopicSnapshot live = proxy_.topic(name)->snapshot();
+      if (canonical_bytes(name, recovered) != canonical_bytes(name, live)) {
+        match = false;
+      }
+    }
+    outcome_.recovery_image_match = match;
+  }
+
+  OverloadPlan plan_;
+  std::map<std::string, core::TopicConfig> configs_;
+  std::vector<TopicTrace> traces_;
+  sim::Simulator sim_;
+  pubsub::Broker broker_;
+  net::Link link_;
+  device::Device device_;
+  Relay relay_;
+  pubsub::Publisher publisher_;
+  storage::MemBackend backend_;
+  std::uint64_t expired_deliveries_ = 0;
+  core::ReliableDeviceChannel reliable_;
+  GuardChannel guard_;
+  core::Proxy proxy_;
+  JournalTee tee_;
+  std::optional<storage::ProxyPersistence> persistence_;
+
+  std::uint64_t next_request_id_ = 1;
+  std::map<std::string, std::vector<core::ReadRecord>> pending_sync_;
+  workload::CanonicalDigest digest_;
+  OverloadOutcome outcome_;
+};
+
+}  // namespace
+
+std::vector<std::string> overload_topics() {
+  return {kAdaptiveTopic, kBufferTopic, kOnlineTopic};
+}
+
+workload::ScenarioConfig overload_scenario() {
+  workload::ScenarioConfig config;
+  config.event_frequency = 32.0;
+  config.user_frequency = 4.0;
+  config.max = 8;
+  config.threshold = 1.0;
+  config.expiring_fraction = 0.5;
+  config.mean_expiration = 6 * kHour;
+  config.outage_fraction = 0.1;
+  config.mean_outage = 2 * kHour;
+  config.horizon = 4 * kDay;
+  return config;
+}
+
+OverloadOutcome run_overload_plan(const OverloadPlan& plan) {
+  OverloadHarness harness(plan);
+  return harness.run();
+}
+
+}  // namespace waif::experiments

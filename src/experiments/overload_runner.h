@@ -1,0 +1,126 @@
+// Overload-protection harness: one deterministic last-hop run driven past
+// its capacity on purpose — a publisher storm on top of the base workload,
+// device-stall windows that starve the reliable channel of ACKs — with the
+// overload layer (core/overload.h) armed: per-topic and proxy-wide queue
+// budgets, admission watermarks on the proxy, and the slow-device circuit
+// breaker in the reliable channel.
+//
+// The harness measures what the protection layer promises:
+//   - peak queue occupancy, sampled after every mutation the harness drives
+//     (arrival, read, sync, requeue) — with a budget armed the samples never
+//     exceed it;
+//   - every shed event journaled (a tee between the proxy and the
+//     persistence layer counts on_shed firings and verifies each victim is
+//     the canonical worst of its topic under overload.h shed_before);
+//   - no unjournaled drops: at the horizon the WAL is replayed from scratch
+//     through the recovery mirror and the rebuilt per-topic images must be
+//     byte-identical to the live proxy's snapshots — an event dropped
+//     without a shed record would survive in the replayed image and break
+//     the comparison;
+//   - breaker behaviour: ACK-starvation windows trip it into hold-only
+//     mode, the cooldown probes half-open, and an ACK recloses it.
+//
+// Everything is seeded; a plan replays bit-identically at any --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/overload.h"
+#include "core/reliable_channel.h"
+#include "storage/persistence.h"
+#include "workload/scenario.h"
+
+namespace waif::experiments {
+
+/// One overload experiment: workload, storm, stall windows, budgets.
+struct OverloadPlan {
+  /// Base workload knobs; the three topics derive per-topic variants from
+  /// it (same shape as the recovery harness: adaptive + buffer + on-line).
+  workload::ScenarioConfig scenario;
+  std::uint64_t seed = 1;
+
+  /// Budgets and watermarks; the all-zero default arms nothing.
+  core::OverloadConfig overload;
+
+  /// Publisher storm: `storm_bursts` bursts of `storm_size` events each,
+  /// `storm_spacing` apart, starting a quarter into the horizon, spread
+  /// round-robin over the topics. 0 bursts = no storm.
+  std::size_t storm_bursts = 0;
+  std::size_t storm_size = 0;
+  SimDuration storm_spacing = kHour;
+
+  /// Device stalls: windows during which every uplink message (ACKs) is
+  /// dropped — the device looks alive but never confirms, which is exactly
+  /// what the circuit breaker exists for. Windows are spread evenly across
+  /// the horizon. 0 windows = healthy device.
+  std::size_t stall_count = 0;
+  SimDuration stall_duration = 0;
+
+  /// Reliable-channel knobs (breaker threshold, backlog bound, backoff).
+  core::ReliableChannelConfig channel;
+
+  /// Journal through storage::ProxyPersistence? Off = the byte-identity
+  /// control. The default config never snapshots (snapshot_interval 0), so
+  /// the end-of-run verification replays the entire WAL through the
+  /// recovery mirror instead of shortcutting through a checkpoint.
+  bool persist = true;
+  storage::PersistenceConfig persistence = {.snapshot_interval = 0};
+};
+
+/// Everything measured in one overload run.
+struct OverloadOutcome {
+  /// Canonical digest over every user read (instant, topic, sorted ids).
+  std::uint64_t read_digest = 0;
+  std::uint64_t total_read = 0;
+  std::uint64_t read_operations = 0;
+
+  /// NOTIFICATION invocations (includes admission-rejected arrivals).
+  std::uint64_t arrivals = 0;
+  /// Events dropped by the budgets (sum of per-topic shed counters).
+  std::uint64_t shed = 0;
+  /// on_shed journal firings seen by the tee (must equal `shed`).
+  std::uint64_t journaled_sheds = 0;
+  /// Shed victims that were NOT the canonical worst of their topic
+  /// (overload.h shed_before) at journal time. Asserted 0 by the bench.
+  std::uint64_t shed_order_violations = 0;
+  /// Arrivals turned away at the admission high-watermark.
+  std::uint64_t admission_rejects = 0;
+  /// Percentage of arrivals shed (metrics::shed_percent).
+  double shed_pct = 0.0;
+
+  /// Peak proxy-wide queue occupancy (outgoing+prefetch+holding over all
+  /// topics), sampled after every harness-driven mutation.
+  std::size_t peak_queued = 0;
+  /// Peak single-topic occupancy — what the per-topic budget bounds.
+  std::size_t peak_topic_queued = 0;
+  std::size_t final_queued = 0;
+
+  // Circuit breaker / reliable transport.
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t attempts_exhausted = 0;
+  std::uint64_t requeued = 0;
+
+  std::uint64_t records_logged = 0;
+  /// Full-WAL replay rebuilt per-topic images byte-identical to the live
+  /// snapshots (always true when persist was off — nothing to compare).
+  bool recovery_image_match = true;
+};
+
+/// The three topic names of the overload scenario.
+std::vector<std::string> overload_topics();
+
+/// The canonical base scenario for overload experiments: outage-laced and
+/// busy enough that budgets actually bind under a storm.
+workload::ScenarioConfig overload_scenario();
+
+/// Runs one plan start to finish. Aborts (via WAIF_CHECK) if an expired
+/// notification ever reaches the channel or a READ the harness itself
+/// built is rejected as malformed.
+OverloadOutcome run_overload_plan(const OverloadPlan& plan);
+
+}  // namespace waif::experiments

@@ -25,4 +25,10 @@ double loss_percent(const ReadSet& baseline, const ReadSet& policy) {
          static_cast<double>(baseline.size());
 }
 
+double shed_percent(std::uint64_t arrivals, std::uint64_t shed) {
+  WAIF_CHECK(shed <= arrivals);
+  if (arrivals == 0) return 0.0;
+  return 100.0 * static_cast<double>(shed) / static_cast<double>(arrivals);
+}
+
 }  // namespace waif::metrics

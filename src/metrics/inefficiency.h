@@ -31,4 +31,9 @@ double loss_percent(const ReadSet& baseline, const ReadSet& policy);
 /// |baseline \ policy| — the lost messages themselves.
 std::uint64_t lost_count(const ReadSet& baseline, const ReadSet& policy);
 
+/// Percentage [0,100] of arrivals dropped by the overload budget
+/// (core/overload.h). `arrivals` counts NOTIFICATION invocations, `shed`
+/// counts budget-shed events. 0 when nothing arrived.
+double shed_percent(std::uint64_t arrivals, std::uint64_t shed);
+
 }  // namespace waif::metrics

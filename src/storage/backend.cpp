@@ -116,18 +116,6 @@ namespace {
   throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
 }
 
-void write_file(const std::string& path, const std::vector<std::uint8_t>& data,
-                const char* mode) {
-  std::FILE* file = std::fopen(path.c_str(), mode);
-  if (file == nullptr) throw_errno("cannot open", path);
-  if (!data.empty() &&
-      std::fwrite(data.data(), 1, data.size(), file) != data.size()) {
-    std::fclose(file);
-    throw_errno("short write to", path);
-  }
-  if (std::fclose(file) != 0) throw_errno("cannot close", path);
-}
-
 }  // namespace
 
 FileBackend::FileBackend(std::string dir) : dir_(std::move(dir)) {
@@ -142,6 +130,30 @@ FileBackend::FileBackend(std::string dir) : dir_(std::move(dir)) {
 std::string FileBackend::path_of(const std::string& name) const {
   WAIF_CHECK(name.find('/') == std::string::npos);  // flat namespace only
   return dir_ + "/" + name;
+}
+
+void FileBackend::write_file(const std::string& path,
+                             const std::vector<std::uint8_t>& data,
+                             const char* mode) {
+  // ENOSPC injection: a full filesystem takes part of the write (the torn
+  // tail lands on disk) and the error surfaces to the caller — here latched
+  // into write_failed_ and reported at the next sync(), which is where the
+  // durability contract checks for it.
+  std::size_t allowed = data.size();
+  if (allowed > write_budget_) {
+    allowed = write_budget_;
+    write_failed_ = true;
+  }
+  write_budget_ -= allowed;
+
+  std::FILE* file = std::fopen(path.c_str(), mode);
+  if (file == nullptr) throw_errno("cannot open", path);
+  if (allowed > 0 &&
+      std::fwrite(data.data(), 1, allowed, file) != allowed) {
+    std::fclose(file);
+    throw_errno("short write to", path);
+  }
+  if (std::fclose(file) != 0) throw_errno("cannot close", path);
 }
 
 std::vector<std::string> FileBackend::list() const {
@@ -185,6 +197,9 @@ void FileBackend::append(const std::string& name,
 }
 
 bool FileBackend::sync(const std::string& name) {
+  // A short write means part of the record never reached the file; the
+  // durability boundary must not advance past it.
+  if (write_failed_) return false;
   if (fault_ != nullptr && !fault_->sync_passes()) return false;
   const std::string path = path_of(name);
   const int fd = ::open(path.c_str(), O_RDONLY);

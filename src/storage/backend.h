@@ -120,11 +120,30 @@ class FileBackend final : public StorageBackend {
 
   const std::string& dir() const { return dir_; }
 
+  /// ENOSPC injection: after `bytes` more bytes have been written, further
+  /// writes are cut short mid-record — the truncated data still lands on
+  /// disk (the torn tail a full filesystem leaves) and the failure sticks:
+  /// every sync() reports false until clear_write_failure(), exactly the
+  /// error-at-fsync contract the write-ahead discipline relies on.
+  /// SIZE_MAX (the default) disables the limit.
+  void set_write_limit(std::size_t bytes) { write_budget_ = bytes; }
+  /// True once a write was cut short by the limit.
+  bool write_failed() const { return write_failed_; }
+  /// Clears the sticky failure (models space being freed); the budget stays
+  /// wherever set_write_limit last put it.
+  void clear_write_failure() { write_failed_ = false; }
+
  private:
   std::string path_of(const std::string& name) const;
+  /// Writes `data` to `path` honouring the byte budget: a write past the
+  /// budget lands truncated and latches write_failed_.
+  void write_file(const std::string& path,
+                  const std::vector<std::uint8_t>& data, const char* mode);
 
   std::string dir_;
   StorageFaultModel* fault_ = nullptr;
+  std::size_t write_budget_ = static_cast<std::size_t>(-1);
+  bool write_failed_ = false;
 };
 
 }  // namespace waif::storage

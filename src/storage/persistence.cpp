@@ -264,6 +264,19 @@ void ProxyPersistence::on_requeue(const std::string& topic,
   if (record_hook_) record_hook_(writer_.record_count());
 }
 
+void ProxyPersistence::on_shed(const std::string& topic,
+                               const NotificationPtr& event, SimTime at) {
+  WalRecord wal;
+  wal.type = WalRecordType::kShed;
+  wal.topic = topic;
+  wal.at = at;
+  wal.event = *event;
+  append(wal);
+  maybe_sync();
+  maybe_request_snapshot();
+  if (record_hook_) record_hook_(writer_.record_count());
+}
+
 void ProxyPersistence::on_device_ack(const NotificationPtr& event) {
   WalRecord wal;
   wal.type = WalRecordType::kAck;
@@ -557,6 +570,15 @@ void replay_expire(TopicImage& image, const WalRecord& record) {
   }
 }
 
+void replay_shed(TopicImage& image, const WalRecord& record) {
+  // Mirrors TopicState::shed_one: the victim leaves every queue (including
+  // any delay-stage copy an interrupt left behind) and its expiration timer
+  // disarms.
+  const std::uint64_t id = record.event.id.value;
+  image.armed.erase(id);
+  image.erase_everywhere(id);
+}
+
 void replay_requeue(TopicImage& image, const WalRecord& record) {
   const std::uint64_t id = record.event.id.value;
   image.forwarded.erase(id);
@@ -627,6 +649,9 @@ RecoveryResult ProxyPersistence::recover(
         break;
       case WalRecordType::kRequeue:
         replay_requeue(image, record);
+        break;
+      case WalRecordType::kShed:
+        replay_shed(image, record);
         break;
       case WalRecordType::kAck:
         break;

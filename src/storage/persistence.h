@@ -164,6 +164,8 @@ class ProxyPersistence final : public core::ProxyJournal,
                  SimTime at) override;
   void on_requeue(const std::string& topic, const pubsub::NotificationPtr& event,
                   SimTime at) override;
+  void on_shed(const std::string& topic, const pubsub::NotificationPtr& event,
+               SimTime at) override;
 
   // --- core::ProxyRecovery --------------------------------------------------
   /// Failover: follow the active role — journal the promoted proxy and

@@ -68,6 +68,7 @@ std::vector<std::uint8_t> encode_payload(const WalRecord& record) {
       writer.u8(record.timer_fired ? 1 : 0);
       break;
     case WalRecordType::kRequeue:
+    case WalRecordType::kShed:
       encode_notification(writer, record.event);
       break;
     case WalRecordType::kAck:
@@ -131,6 +132,7 @@ bool decode_payload(const std::vector<std::uint8_t>& payload,
       record->timer_fired = reader.u8() != 0;
       break;
     case WalRecordType::kRequeue:
+    case WalRecordType::kShed:
       record->event = decode_notification(reader);
       break;
     case WalRecordType::kAck:

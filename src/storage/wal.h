@@ -37,6 +37,7 @@ enum class WalRecordType : std::uint8_t {
   kExpire = 5,   // an event purged as expired
   kRequeue = 6,  // the reliable channel handed an abandoned transfer back
   kAck = 7,      // the device ACKed a forwarded event (reliable channel)
+  kShed = 8,     // an event dropped by the overload budget (core/overload.h)
 };
 
 /// One WAL entry. A flat union-style struct: `type` says which fields are
@@ -46,7 +47,7 @@ struct WalRecord {
   std::string topic;
   SimTime at = 0;
 
-  // kEnqueue / kForward / kRequeue
+  // kEnqueue / kForward / kRequeue / kShed
   pubsub::Notification event;
 
   // kEnqueue

@@ -1,0 +1,242 @@
+// Protocol hardening at the device boundary: a malformed READ or sync from
+// an untrusted device must surface as a protocol error — never an abort, an
+// exception, or a state mutation. Includes a seeded randomized sweep over
+// malformed inputs.
+#include "core/read_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "core/channel.h"
+#include "core/proxy.h"
+#include "core/topic_state.h"
+#include "device/device.h"
+#include "net/link.h"
+#include "pubsub/notification.h"
+#include "sim/simulator.h"
+
+namespace waif::core {
+namespace {
+
+using pubsub::Notification;
+using pubsub::NotificationPtr;
+
+ReadRequest well_formed(int n = 4) {
+  ReadRequest request;
+  request.n = n;
+  request.queue_size = 2;
+  request.client_events = {NotificationId{7}, NotificationId{9}};
+  return request;
+}
+
+// ------------------------------------------------------------ validate_read
+
+TEST(ValidateRead, AcceptsWellFormedRequests) {
+  EXPECT_EQ(validate_read(well_formed()), ReadStatus::kOk);
+  EXPECT_EQ(validate_read(ReadRequest{}), ReadStatus::kOk);  // empty is fine
+}
+
+TEST(ValidateRead, RejectsNegativeN) {
+  ReadRequest request = well_formed();
+  request.n = -1;
+  request.client_events.clear();
+  EXPECT_EQ(validate_read(request), ReadStatus::kBadN);
+}
+
+TEST(ValidateRead, RejectsAbsurdN) {
+  ReadRequest request = well_formed();
+  request.n = kMaxReadN + 1;
+  EXPECT_EQ(validate_read(request), ReadStatus::kBadN);
+  request.n = kMaxReadN;  // the boundary itself is legal
+  EXPECT_EQ(validate_read(request), ReadStatus::kOk);
+}
+
+TEST(ValidateRead, RejectsOversizedQueueSize) {
+  ReadRequest request = well_formed();
+  request.queue_size = kMaxReadQueueSize + 1;
+  EXPECT_EQ(validate_read(request), ReadStatus::kBadQueueSize);
+}
+
+TEST(ValidateRead, RejectsMoreClientEventsThanN) {
+  ReadRequest request = well_formed(/*n=*/1);
+  EXPECT_EQ(validate_read(request), ReadStatus::kTooManyClientEvents);
+}
+
+TEST(ValidateRead, RejectsDuplicateClientEvents) {
+  ReadRequest request = well_formed();
+  request.client_events = {NotificationId{7}, NotificationId{3},
+                           NotificationId{7}};
+  EXPECT_EQ(validate_read(request), ReadStatus::kDuplicateClientEvent);
+}
+
+// --------------------------------------------------- checked proxy entries
+
+class ReadProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TopicConfig config;
+    config.mode = DeliveryMode::kOnDemand;
+    config.options.max = 8;
+    config.options.threshold = 0.0;
+    config.policy = PolicyConfig::on_demand();
+    proxy.add_topic("t", config);
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+      auto n = std::make_shared<Notification>();
+      n->id = NotificationId{id};
+      n->topic = "t";
+      n->rank = static_cast<double>(id);
+      n->published_at = sim.now();
+      n->expires_at = kNever;
+      proxy.on_notification(n);
+    }
+  }
+
+  /// The observables a rejected request must leave untouched.
+  struct StateProbe {
+    std::size_t queued;
+    std::uint64_t reads;
+    std::uint64_t syncs;
+    std::uint64_t forwarded;
+    std::size_t device_queue;
+
+    bool operator==(const StateProbe&) const = default;
+  };
+
+  StateProbe probe() {
+    const TopicState* state = proxy.topic("t");
+    return {state->queued_total(), state->stats().read_requests,
+            state->stats().sync_requests, state->stats().forwarded,
+            device.queue_size()};
+  }
+
+  sim::Simulator sim;
+  net::Link link{sim};
+  device::Device device{sim, DeviceId{1}};
+  SimDeviceChannel channel{link, device};
+  Proxy proxy{sim, channel, "proxy"};
+};
+
+TEST_F(ReadProtocolTest, MalformedReadIsRejectedWithoutStateChange) {
+  const StateProbe before = probe();
+  std::vector<NotificationPtr> difference;
+
+  ReadRequest negative;
+  negative.n = -5;
+  EXPECT_EQ(proxy.try_read("t", negative, &difference),
+            ReadStatus::kBadN);
+  ReadRequest oversized;
+  oversized.n = 1;
+  oversized.queue_size = kMaxReadQueueSize + 1;
+  EXPECT_EQ(proxy.try_read("t", oversized, &difference),
+            ReadStatus::kBadQueueSize);
+  ReadRequest duplicated = well_formed();
+  duplicated.client_events = {NotificationId{1}, NotificationId{1}};
+  EXPECT_EQ(proxy.try_read("t", duplicated, &difference),
+            ReadStatus::kDuplicateClientEvent);
+
+  EXPECT_TRUE(difference.empty());
+  EXPECT_EQ(probe(), before);
+  EXPECT_EQ(proxy.stats().rejected_reads, 3u);
+  EXPECT_EQ(proxy.topic("t")->stats().protocol_errors, 3u);
+  EXPECT_EQ(proxy.stats().reads, 0u);
+}
+
+TEST_F(ReadProtocolTest, UnknownTopicIsAnErrorNotAnException) {
+  EXPECT_EQ(proxy.try_read("nowhere", well_formed()),
+            ReadStatus::kUnknownTopic);
+  EXPECT_EQ(proxy.try_sync("nowhere", 0), ReadStatus::kUnknownTopic);
+  EXPECT_EQ(proxy.stats().rejected_reads, 1u);
+  EXPECT_EQ(proxy.stats().rejected_syncs, 1u);
+}
+
+TEST_F(ReadProtocolTest, MalformedSyncIsRejectedWithoutStateChange) {
+  const StateProbe before = probe();
+  EXPECT_EQ(proxy.try_sync("t", kMaxReadQueueSize + 1),
+            ReadStatus::kBadQueueSize);
+  EXPECT_EQ(proxy.try_sync("t", 0, {ReadRecord{kHour, -3}}),
+            ReadStatus::kBadN);
+  EXPECT_EQ(proxy.try_sync("t", 0, {ReadRecord{kHour, kMaxReadN + 1}}),
+            ReadStatus::kBadN);
+  EXPECT_EQ(probe(), before);
+  EXPECT_EQ(proxy.stats().rejected_syncs, 3u);
+  // A rejected sync must not refresh the queue-size view either.
+  EXPECT_EQ(proxy.topic("t")->queue_size_view(), 0u);
+}
+
+TEST_F(ReadProtocolTest, ValidRequestsStillWorkThroughTheCheckedEntry) {
+  std::vector<NotificationPtr> difference;
+  ReadRequest request;
+  request.n = 2;
+  EXPECT_EQ(proxy.try_read("t", request, &difference), ReadStatus::kOk);
+  EXPECT_EQ(difference.size(), 2u);
+  EXPECT_EQ(proxy.stats().reads, 1u);
+  EXPECT_EQ(proxy.try_sync("t", device.queue_size()), ReadStatus::kOk);
+}
+
+TEST_F(ReadProtocolTest, RandomizedMalformedRequestsNeverAbort) {
+  // A seeded sweep of malformed requests: every one must come back as a
+  // protocol error with the proxy state untouched — no WAIF_CHECK abort, no
+  // exception, no accidental forward.
+  Rng rng(0xBADC0DEull);
+  const StateProbe before = probe();
+  std::uint64_t rejects = 0;
+
+  for (int i = 0; i < 1000; ++i) {
+    const std::string topic = rng.next_below(8) == 0 ? "nowhere" : "t";
+    if (rng.next_below(2) == 0) {
+      ReadRequest request;
+      switch (rng.next_below(4)) {
+        case 0:  // negative or absurd n
+          request.n = rng.next_below(2) == 0
+                          ? -1 - static_cast<int>(rng.next_below(1 << 20))
+                          : kMaxReadN + 1 +
+                                static_cast<int>(rng.next_below(1 << 10));
+          break;
+        case 1:  // oversized queue_size
+          request.n = static_cast<int>(rng.next_below(8));
+          request.queue_size = kMaxReadQueueSize + 1 + rng.next_below(1 << 20);
+          break;
+        case 2: {  // duplicate ids in client_events
+          request.n = 4;
+          const std::uint64_t id = rng.next_below(100);
+          request.client_events = {NotificationId{id}, NotificationId{id}};
+          break;
+        }
+        default:  // more client_events than n admits
+          request.n = 1;
+          request.client_events = {NotificationId{rng.next_below(100)},
+                                   NotificationId{rng.next_below(100) + 100}};
+          break;
+      }
+      EXPECT_NE(proxy.try_read(topic, request), ReadStatus::kOk);
+    } else {
+      std::size_t queue_size = 0;
+      std::vector<ReadRecord> offline;
+      if (rng.next_below(2) == 0) {
+        queue_size = kMaxReadQueueSize + 1 + rng.next_below(1 << 16);
+      } else {
+        offline.push_back(
+            ReadRecord{static_cast<SimTime>(rng.next_below(
+                           static_cast<std::uint64_t>(kDay))),
+                       -1 - static_cast<int>(rng.next_below(1 << 16))});
+      }
+      EXPECT_NE(proxy.try_sync(topic, queue_size, offline),
+                ReadStatus::kOk);
+    }
+    ++rejects;
+  }
+
+  EXPECT_EQ(probe(), before);
+  EXPECT_EQ(proxy.stats().reads, 0u);
+  EXPECT_EQ(proxy.stats().rejected_reads + proxy.stats().rejected_syncs,
+            rejects);
+}
+
+}  // namespace
+}  // namespace waif::core

@@ -1,0 +1,185 @@
+// FileBackend write-failure paths: the ENOSPC-style write limit (short
+// write mid-record, sticky sync failure), the torn WAL tail it leaves being
+// fsck-recoverable by truncation, and the write-ahead discipline holding up
+// over a real filesystem — a forward whose record cannot be made durable is
+// refused and the event parked instead of delivered.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/channel.h"
+#include "core/proxy.h"
+#include "core/topic_state.h"
+#include "device/device.h"
+#include "net/link.h"
+#include "pubsub/notification.h"
+#include "sim/simulator.h"
+#include "storage/backend.h"
+#include "storage/persistence.h"
+#include "storage/wal.h"
+
+namespace waif::storage {
+namespace {
+
+using pubsub::Notification;
+using pubsub::NotificationPtr;
+
+std::vector<std::uint8_t> bytes(const std::string& text) {
+  return std::vector<std::uint8_t>(text.begin(), text.end());
+}
+
+class BackendFaultTest : public ::testing::Test {
+ protected:
+  std::string dir_ = ::testing::TempDir() + "waif_backend_fault_" +
+                     ::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name();
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+};
+
+TEST_F(BackendFaultTest, WriteLimitTruncatesAndLatchesTheFailure) {
+  FileBackend backend(dir_);
+  backend.set_write_limit(6);
+
+  // Within budget: lands whole, durability intact.
+  backend.append("wal", bytes("head"));
+  EXPECT_FALSE(backend.write_failed());
+  EXPECT_TRUE(backend.sync("wal"));
+
+  // Past budget: the write is cut short — the truncated prefix still lands
+  // (the torn tail a full filesystem leaves) and the failure latches.
+  backend.append("wal", bytes("+tail"));
+  EXPECT_TRUE(backend.write_failed());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(backend.read("wal", &out));
+  EXPECT_EQ(out, bytes("head+t"));  // 6-byte budget: 4 + first 2 of "+tail"
+
+  // The failure is sticky: every sync reports false until cleared, so the
+  // durability boundary cannot silently move past torn data.
+  EXPECT_FALSE(backend.sync("wal"));
+  EXPECT_FALSE(backend.sync("wal"));
+  backend.clear_write_failure();
+  EXPECT_TRUE(backend.sync("wal"));
+}
+
+TEST_F(BackendFaultTest, TornWalTailIsFsckRecoverable) {
+  FileBackend backend(dir_);
+
+  // Three clean records, fully durable.
+  WalWriter writer(backend, kWalBlobName);
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    WalRecord record;
+    record.type = WalRecordType::kEnqueue;
+    record.topic = "t";
+    record.event.id = NotificationId{id};
+    record.event.topic = "t";
+    record.stage = core::JournalStage::kOutgoing;
+    writer.append(record);
+  }
+  ASSERT_TRUE(writer.sync());
+  std::vector<std::uint8_t> before;
+  ASSERT_TRUE(backend.read(kWalBlobName, &before));
+  const std::size_t clean_size = before.size();
+
+  // The disk fills: the fourth record is cut short eight bytes in — a torn
+  // frame whose header promises more payload than exists.
+  backend.set_write_limit(8);
+  WalRecord torn;
+  torn.type = WalRecordType::kEnqueue;
+  torn.topic = "t";
+  torn.event.id = NotificationId{4};
+  torn.event.topic = "t";
+  writer.append(torn);
+  ASSERT_TRUE(backend.write_failed());
+  EXPECT_FALSE(writer.sync());
+
+  // fsck view: the damage is confined to the tail and the truncation point
+  // is exactly the last valid frame boundary.
+  WalReadResult scan = read_wal(backend);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_FALSE(scan.clean());
+  EXPECT_EQ(scan.valid_bytes, clean_size);
+  EXPECT_LT(scan.valid_bytes, scan.total_bytes);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[2].event.id.value, 3u);
+
+  // Repair = truncate; the repaired log is clean with the same prefix.
+  backend.truncate(kWalBlobName, scan.valid_bytes);
+  WalReadResult repaired = read_wal(backend);
+  EXPECT_TRUE(repaired.clean());
+  EXPECT_FALSE(repaired.torn_tail);
+  ASSERT_EQ(repaired.records.size(), 3u);
+  EXPECT_EQ(repaired.records[0].event.id.value, 1u);
+  EXPECT_EQ(repaired.records[2].event.id.value, 3u);
+}
+
+TEST_F(BackendFaultTest, ForwardIsRefusedWhenItsRecordCannotBeMadeDurable) {
+  // The write-ahead discipline over a real filesystem: when the forward
+  // record's fsync fails (disk full mid-record), on_forward returns false
+  // and the proxy parks the event in holding instead of delivering it —
+  // recovery can never observe a delivery the log missed.
+  sim::Simulator sim;
+  net::Link link{sim};
+  device::Device device{sim, DeviceId{1}};
+  core::SimDeviceChannel channel{link, device};
+  core::Proxy proxy{sim, channel, "proxy"};
+  core::TopicConfig config;
+  config.mode = core::DeliveryMode::kOnLine;
+  config.options.max = 8;
+  config.options.threshold = 0.0;
+  config.policy = core::PolicyConfig::online();
+  proxy.add_topic("t", config);
+
+  FileBackend backend(dir_);
+  PersistenceConfig persist_config;
+  persist_config.snapshot_interval = 0;  // keep the blob set to just the WAL
+  ProxyPersistence persistence(sim, backend, persist_config);
+  persistence.attach(proxy);
+
+  auto arrival = [&](std::uint64_t id) {
+    auto n = std::make_shared<Notification>();
+    n->id = NotificationId{id};
+    n->topic = "t";
+    n->rank = 5.0;
+    n->published_at = sim.now();
+    n->expires_at = kNever;
+    proxy.on_notification(n);
+    sim.run();
+  };
+
+  // Healthy disk: the first event journals and reaches the device.
+  arrival(1);
+  ASSERT_EQ(device.queue_size(), 1u);
+  ASSERT_EQ(persistence.stats().forward_refusals, 0u);
+  std::vector<std::uint8_t> wal_bytes;
+  ASSERT_TRUE(backend.read(kWalBlobName, &wal_bytes));
+
+  // Disk full: the second event's record lands torn, the pre-delivery sync
+  // fails, and the forward must be refused.
+  backend.set_write_limit(4);
+  arrival(2);
+  EXPECT_EQ(device.queue_size(), 1u);  // the delivery did NOT happen
+  EXPECT_GE(persistence.stats().forward_refusals, 1u);
+  EXPECT_GE(persistence.stats().failed_syncs, 1u);
+  const core::TopicState* state = proxy.topic("t");
+  EXPECT_EQ(state->stats().forward_aborts, 1u);
+  EXPECT_EQ(state->holding_size(), 1u);  // parked, not dropped
+  EXPECT_EQ(state->stats().forwarded, 1u);
+
+  // The on-disk log still fscks: damage confined to a recoverable tail.
+  WalReadResult scan = read_wal(backend);
+  EXPECT_FALSE(scan.clean());
+  EXPECT_EQ(scan.valid_bytes, wal_bytes.size());  // the pre-fault prefix
+  backend.truncate(kWalBlobName, scan.valid_bytes);
+  EXPECT_TRUE(read_wal(backend).clean());
+
+  persistence.detach();
+}
+
+}  // namespace
+}  // namespace waif::storage
