@@ -101,6 +101,7 @@ GroupResult run_group(const workload::ScenarioConfig& config,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("ablate_multidevice");
   experiments::ParallelRunner runner(bench::parse_jobs(
       argc, argv, "Section 4 ablation — cooperating devices"));
   const std::vector<double> outages = {0.5, 0.7, 0.9};
@@ -149,7 +150,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < outages.size(); ++i) {
     table.add_row(bench::fmt("%.1f", outages[i]), rows[i]);
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
 
   bench::emit(table,
               "the second cache cuts loss: reads during the phone's long "

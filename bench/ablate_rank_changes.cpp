@@ -11,6 +11,7 @@
 using namespace waif;
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("ablate_rank_changes");
   experiments::ParallelRunner runner(bench::parse_jobs(
       argc, argv, "Section 3.4 ablation — rank changes vs the delay stage"));
   const std::vector<double> drop_fractions = {0.0, 0.1, 0.3, 0.5};
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(bench::fmt("%.1f", drop_fraction), row);
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
 
   bench::emit(table,
               "with no delay, retraction notices (and the wasted transfers "

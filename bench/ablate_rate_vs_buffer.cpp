@@ -10,6 +10,7 @@
 using namespace waif;
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("ablate_rate_vs_buffer");
   experiments::ParallelRunner runner(bench::parse_jobs(
       argc, argv, "Section 3.2 ablation — prefetching policies head-to-head"));
   const std::vector<double> outages = {0.1, 0.3, 0.5, 0.7, 0.9};
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(bench::fmt("%.1f", outage), row);
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
 
   bench::emit(table,
               "both prefetchers keep waste and loss within a few percentage "

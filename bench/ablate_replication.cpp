@@ -114,6 +114,7 @@ CrashResult run_with_crash(const workload::ScenarioConfig& config,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("ablate_replication");
   experiments::ParallelRunner runner(bench::parse_jobs(
       argc, argv, "Section 4 ablation — proxy replication vs cold restart"));
   // A no-overflow regime (capacity 64/day vs 32/day produced): the user
@@ -174,7 +175,7 @@ int main(int argc, char** argv) {
                    static_cast<double>(results[i].duplicates),
                    static_cast<double>(results[i].transfers)});
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
 
   bench::emit(table,
               "failover keeps loss at the no-failure level; the duplicate "

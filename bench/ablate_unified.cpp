@@ -20,6 +20,7 @@ struct Regime {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("ablate_unified");
   experiments::ParallelRunner runner(bench::parse_jobs(
       argc, argv, "Section 3.5 ablation — unified adaptive algorithm"));
   std::vector<Regime> regimes;
@@ -105,7 +106,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(regime.name, row);
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
 
   bench::emit(table,
               "online: ~50% waste / 0 loss; on-demand: 0 waste / heavy loss "

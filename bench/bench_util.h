@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/flags.h"
 #include "common/time.h"
 #include "experiments/parallel_runner.h"
@@ -46,15 +47,28 @@ inline std::size_t parse_jobs(int argc, const char* const* argv,
 
 /// Prints the accounting of the runner's most recent sweep: the observed
 /// wall clock, the sequential-equivalent cost (sum of per-job run times),
-/// and the resulting speedup.
+/// the resulting speedup, and the process-wide CPU/peak-RSS triple so every
+/// bench reports the same resource line. All of it stays on "sweep:" lines,
+/// which the determinism diffs strip.
 inline void report_sweep(const experiments::ParallelRunner& runner) {
   const experiments::SweepStats& stats = runner.last_stats();
   if (stats.jobs == 0) return;
   std::printf(
       "sweep: %zu jobs on %zu thread(s) — wall %.2f s, "
-      "sequential-equivalent %.2f s, speedup %.2fx\n\n",
+      "sequential-equivalent %.2f s, speedup %.2fx\n"
+      "sweep: process — cpu %.2f s, peak rss %.1f MiB\n\n",
       stats.jobs, stats.threads, stats.wall_seconds, stats.task_seconds,
-      stats.speedup());
+      stats.speedup(), process_cpu_seconds(),
+      static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0));
+}
+
+/// report_sweep() that additionally folds the sweep's accounting into the
+/// bench's BENCH_<name>.json.
+inline void report_sweep(const experiments::ParallelRunner& runner,
+                         BenchReport& report,
+                         const std::string& label = "main") {
+  report.note_sweep(runner.last_stats(), label);
+  report_sweep(runner);
 }
 
 /// Prints the table followed by the paper's expected shape, so the output is

@@ -174,6 +174,7 @@ ChaosResult run_cell(const workload::Trace& trace, const ChaosCell& cell) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("chaos_lasthop");
   experiments::ParallelRunner runner(bench::parse_jobs(
       argc, argv,
       "Chaos sweep — drop rate x outage downtime x crash count over the "
@@ -241,7 +242,7 @@ int main(int argc, char** argv) {
                    static_cast<double>(result.device_duplicates),
                    static_cast<double>(result.auto_promotions)});
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
   bench::emit(
       table,
       "all invariants held (the binary aborts otherwise). Retries grow with "

@@ -66,6 +66,7 @@ experiments::OverloadPlan cell_plan(const OverloadCell& cell,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("chaos_overload");
   experiments::ParallelRunner runner(bench::parse_jobs(
       argc, argv,
       "Overload chaos sweep — publisher storm x device stall x queue budget "
@@ -169,7 +170,7 @@ int main(int argc, char** argv) {
                    static_cast<double>(result.requeued)});
   }
 
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
   bench::emit(
       table,
       "all invariants held (the binary aborts otherwise). Budgeted cells "

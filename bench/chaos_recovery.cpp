@@ -82,6 +82,7 @@ experiments::RecoveryPlan cell_plan(const RecoveryCell& cell,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("chaos_recovery");
   experiments::ParallelRunner runner(bench::parse_jobs(
       argc, argv,
       "Durability chaos sweep — crash point x sync policy x snapshot "
@@ -198,7 +199,7 @@ int main(int argc, char** argv) {
                    static_cast<double>(result.wal_repairs)});
   }
 
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
   bench::emit(
       table,
       "all invariants held (the binary aborts otherwise). Write-ahead cells "

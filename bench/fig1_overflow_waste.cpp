@@ -16,6 +16,7 @@
 using namespace waif;
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("fig1_overflow_waste");
   const std::vector<double> user_frequencies = {0.25, 0.5, 1, 2, 4, 8, 16, 32};
   const std::vector<int> max_values = {1, 2, 4, 8, 16, 32, 64};
   experiments::ParallelRunner runner(
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(std::to_string(max), row);
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
 
   bench::emit(table,
               "waste ~ 100*(1 - uf*Max/32), clamped at 0: ~88% at uf=1,Max=4; "

@@ -12,6 +12,7 @@
 using namespace waif;
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("fig2_overflow_loss");
   const std::vector<double> user_frequencies = {0.25, 0.5, 1, 2,
                                                 4,    8,   16, 32, 64};
   const std::vector<double> outages = {0.0, 0.1, 0.2, 0.3, 0.4,  0.5,
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(bench::fmt("%.2f", outage), row);
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
 
   bench::emit(table,
               "loss grows with the outage fraction toward just below 100%, "

@@ -13,6 +13,7 @@
 using namespace waif;
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("fig3_buffer_prefetch");
   const std::vector<double> outages = {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99};
   const std::vector<std::size_t> limits = {1,    4,    16,    64,   256,
                                            1024, 4096, 16384, 65536};
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
     loss_table.add_row(std::to_string(limit), loss_row);
     waste_table.add_row(std::to_string(limit), waste_row);
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
 
   bench::emit(loss_table,
               "loss falls from on-demand levels to ~0 by limit 16 (the "

@@ -14,6 +14,7 @@
 using namespace waif;
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("fig4_expiration_waste");
   const std::vector<double> user_frequencies = {1, 2, 4, 8, 16, 32, 64};
   const std::vector<double> expirations = {16,    64,    256,   1024,
                                            4096,  16384, 65536, 262144};
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(bench::fmt("%.0f", expiration), row);
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
 
   bench::emit(table,
               "near-100% waste for lifetimes far below the interval between "

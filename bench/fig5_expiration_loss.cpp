@@ -16,6 +16,7 @@
 using namespace waif;
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("fig5_expiration_loss");
   experiments::ParallelRunner runner(
       bench::parse_jobs(argc, argv, "fig5 — loss due to expirations"));
   const std::vector<double> user_frequencies = {1, 2, 4, 8, 16, 32, 64};
@@ -58,7 +59,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(bench::fmt("%.0f", expiration), row);
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
 
   bench::emit(table,
               "a hump: low loss at very short lifetimes, peak when lifetimes "

@@ -18,6 +18,7 @@
 using namespace waif;
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("fig6_expiration_threshold");
   experiments::ParallelRunner runner(bench::parse_jobs(
       argc, argv, "fig6 — prefetch expiration threshold sweep"));
   // The paper's five expiration intervals (seconds).
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
     waste_table.add_row(bench::fmt("%.0f", threshold), waste_row);
     loss_table.add_row(bench::fmt("%.0f", threshold), loss_row);
   }
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report);
 
   bench::emit(waste_table,
               "each curve starts high (short thresholds admit soon-expiring "

@@ -123,6 +123,7 @@ double run_many_topics(std::size_t topics) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchReport report("scale_proxies");
   // Default to one worker: each job measures wall-clock throughput, so
   // concurrent jobs would contend for cores and depress every number.
   // --jobs>1 still works for a quick sweep where absolute rates matter less.
@@ -141,7 +142,7 @@ int main(int argc, char** argv) {
     fan_out.add_row(std::to_string(fan_out_sizes[i]), {fan_out_rates[i]});
   }
   fan_out.set_precision(0);
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report, "fan_out");
   bench::emit(fan_out,
               "near-linear fan-out: per-delivery cost stays roughly constant "
               "as devices are added, so a proxy host scales with aggregate "
@@ -159,7 +160,7 @@ int main(int argc, char** argv) {
     many_topics.add_row(std::to_string(topic_counts[i]), {topic_rates[i]});
   }
   many_topics.set_precision(0);
-  bench::report_sweep(runner);
+  bench::report_sweep(runner, report, "many_topics");
   bench::emit(many_topics,
               "per-topic state is independent; throughput per delivery is "
               "flat in the number of topics (hash-map dispatch).");

@@ -1,0 +1,35 @@
+#include "common/alloc_stats.h"
+
+namespace waif::alloc_stats {
+
+namespace {
+
+std::atomic<std::uint64_t> g_count{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<bool> g_installed{false};
+
+}  // namespace
+
+bool hooks_installed() { return g_installed.load(std::memory_order_relaxed); }
+
+std::uint64_t allocation_count() {
+  return g_count.load(std::memory_order_relaxed);
+}
+
+std::uint64_t allocation_bytes() {
+  return g_bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t free_count() { return g_frees.load(std::memory_order_relaxed); }
+
+void record_alloc(std::size_t bytes) {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void record_free() { g_frees.fetch_add(1, std::memory_order_relaxed); }
+
+void mark_installed() { g_installed.store(true, std::memory_order_relaxed); }
+
+}  // namespace waif::alloc_stats

@@ -1,0 +1,56 @@
+// Process-wide heap allocation counters, fed by an optional link-in hook.
+//
+// The counters live here in waif_common so any code can query them, but
+// they only move when the replacement operator new/delete in
+// common/alloc_hooks.cpp is linked into the binary (CMake target
+// waif::alloc_hooks). Bench binaries and the allocation-regression tests
+// link the hook; everything else pays nothing.
+//
+// Counting is exact, not sampled: every operator new/new[] bumps count and
+// bytes, every delete bumps frees. AllocProbe measures the delta across a
+// scope — the primitive the zero-allocation steady-state assertions and the
+// BENCH_*.json "allocs" block are built on. Counters are atomic (relaxed)
+// so multi-threaded sweeps count correctly; the probe itself is meant for
+// single-threaded measurement windows.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace waif::alloc_stats {
+
+/// True when the counting operator new/delete is linked into this binary.
+bool hooks_installed();
+
+/// Totals since process start (all zero without the hook).
+std::uint64_t allocation_count();
+std::uint64_t allocation_bytes();
+std::uint64_t free_count();
+
+/// Internal: the hook TU calls these. Not for general use.
+void record_alloc(std::size_t bytes);
+void record_free();
+void mark_installed();
+
+/// Measures allocations across a scope:
+///
+///     AllocProbe probe;
+///     ... hot path ...
+///     EXPECT_EQ(probe.allocations(), 0u);
+class AllocProbe {
+ public:
+  AllocProbe()
+      : start_count_(allocation_count()), start_bytes_(allocation_bytes()) {}
+
+  std::uint64_t allocations() const {
+    return allocation_count() - start_count_;
+  }
+  std::uint64_t bytes() const { return allocation_bytes() - start_bytes_; }
+
+ private:
+  std::uint64_t start_count_;
+  std::uint64_t start_bytes_;
+};
+
+}  // namespace waif::alloc_stats

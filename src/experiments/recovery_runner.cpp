@@ -237,6 +237,7 @@ class RecoveryHarness {
     outcome_.read_digest = digest_.value();
     if (persistence_) {
       outcome_.records_logged = persistence_->record_count();
+      outcome_.wal_syncs = persistence_->stats().syncs;
       outcome_.snapshots = persistence_->stats().snapshots;
       outcome_.forward_refusals = persistence_->stats().forward_refusals;
     }

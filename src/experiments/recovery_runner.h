@@ -76,6 +76,7 @@ struct RecoveryOutcome {
   std::uint64_t expired_deliveries = 0;
 
   std::uint64_t records_logged = 0;     // WAL records at the horizon
+  std::uint64_t wal_syncs = 0;          // successful fsyncs over the run
   std::uint64_t records_recovered = 0;  // valid WAL records at recovery
   std::uint64_t replayed = 0;           // records replayed past the snapshot
   std::uint64_t crashes = 0;

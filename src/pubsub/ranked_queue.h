@@ -7,17 +7,26 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/pool_allocator.h"
 #include "pubsub/notification.h"
 
 namespace waif::pubsub {
 
 class RankedQueue {
  public:
+  RankedQueue();
+  // The id index holds iterators into ordered_; a memberwise copy/move would
+  // leave them pointing into the source queue. Nothing copies whole queues —
+  // callers copy contents (snapshot/restore) — so forbid it outright.
+  RankedQueue(const RankedQueue&) = delete;
+  RankedQueue& operator=(const RankedQueue&) = delete;
+
   /// Inserts or replaces (by id) a notification. Returns true when the id was
   /// not present before.
   bool insert(const pubsub::NotificationPtr& notification);
@@ -56,10 +65,21 @@ class RankedQueue {
   auto end() const { return ordered_.end(); }
 
  private:
-  std::set<pubsub::NotificationPtr, pubsub::RankHigher> ordered_;
-  std::unordered_map<std::uint64_t,
-                     std::set<pubsub::NotificationPtr, pubsub::RankHigher>::iterator>
-      index_;
+  // Both containers draw their (fixed-size) nodes from per-container slab
+  // arenas, so a steady-state insert/erase cycle allocates nothing from the
+  // global heap — see common/pool_allocator.h. Each container gets its OWN
+  // arena because an arena serves exactly one size class.
+  using Ordered = std::set<pubsub::NotificationPtr, pubsub::RankHigher,
+                           PoolAllocator<pubsub::NotificationPtr>>;
+  using Index = std::unordered_map<
+      std::uint64_t, Ordered::iterator, std::hash<std::uint64_t>,
+      std::equal_to<std::uint64_t>,
+      PoolAllocator<std::pair<const std::uint64_t, Ordered::iterator>>>;
+
+  std::shared_ptr<PoolArena> ordered_arena_;
+  std::shared_ptr<PoolArena> index_arena_;
+  Ordered ordered_;
+  Index index_;
 };
 
 /// The up-to-`n` highest-ranked notifications (rank >= threshold) across

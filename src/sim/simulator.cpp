@@ -1,8 +1,21 @@
 #include "sim/simulator.h"
 
+#include <atomic>
 #include <utility>
 
 namespace waif::sim {
+
+namespace {
+std::atomic<std::uint64_t> g_total_events_fired{0};
+}  // namespace
+
+std::uint64_t total_events_fired() {
+  return g_total_events_fired.load(std::memory_order_relaxed);
+}
+
+Simulator::~Simulator() {
+  g_total_events_fired.fetch_add(fired_, std::memory_order_relaxed);
+}
 
 EventHandle Simulator::schedule_at(SimTime when, Callback fn) {
   WAIF_CHECK(when >= now_);
@@ -23,6 +36,7 @@ void Simulator::run_until(SimTime deadline) {
     now_ = fired.time;
     ++fired_;
     fired.fn();
+    if (!post_event_hooks_.empty()) run_post_event_hooks();
   }
   if (!stopped_ && deadline != kNever && now_ < deadline) {
     // All events up to the deadline have fired; the run covers [now, deadline]
@@ -39,7 +53,20 @@ bool Simulator::step() {
   now_ = fired.time;
   ++fired_;
   fired.fn();
+  if (!post_event_hooks_.empty()) run_post_event_hooks();
   return true;
+}
+
+std::size_t Simulator::add_post_event_hook(Callback hook) {
+  WAIF_CHECK(hook != nullptr);
+  const std::size_t id = next_hook_id_++;
+  post_event_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Simulator::remove_post_event_hook(std::size_t id) {
+  std::erase_if(post_event_hooks_,
+                [id](const auto& entry) { return entry.first == id; });
 }
 
 }  // namespace waif::sim

@@ -7,12 +7,19 @@
 
 #include <cstddef>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/time.h"
 #include "sim/event_queue.h"
 
 namespace waif::sim {
+
+/// Events fired across every Simulator this process has *destroyed* plus
+/// flush_events_fired() calls — the denominator of the BENCH_*.json
+/// events-per-second figures. Thread-safe.
+std::uint64_t total_events_fired();
 
 class Simulator {
  public:
@@ -21,6 +28,9 @@ class Simulator {
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Folds this simulator's fired-event count into total_events_fired().
+  ~Simulator();
 
   /// Current virtual time.
   SimTime now() const { return now_; }
@@ -53,11 +63,24 @@ class Simulator {
   /// Cancels everything scheduled; the clock is unchanged.
   void clear() { queue_.clear(); }
 
+  /// Registers a hook that runs after every fired event's callback returns,
+  /// before the next event is popped — the "end of event" boundary (the WAL
+  /// group-commit flush hangs here). Returns an id for removal. Hooks must
+  /// not add or remove hooks from inside a hook.
+  std::size_t add_post_event_hook(std::function<void()> hook);
+  void remove_post_event_hook(std::size_t id);
+
  private:
+  void run_post_event_hooks() {
+    for (auto& [id, hook] : post_event_hooks_) hook();
+  }
+
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t fired_ = 0;
   bool stopped_ = false;
+  std::vector<std::pair<std::size_t, Callback>> post_event_hooks_;
+  std::size_t next_hook_id_ = 1;
 };
 
 }  // namespace waif::sim

@@ -66,6 +66,10 @@ void ByteWriter::str(const std::string& value) {
   bytes_.insert(bytes_.end(), value.begin(), value.end());
 }
 
+void ByteWriter::raw(const std::uint8_t* data, std::size_t size) {
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
 bool ByteReader::take(std::size_t count, const std::uint8_t** out) {
   if (failed_ || size_ - offset_ < count) {
     failed_ = true;

@@ -29,10 +29,17 @@ class ByteWriter {
   void f64(double value);
   /// Length-prefixed (u32) byte string.
   void str(const std::string& value);
+  /// Raw bytes, no length prefix — for splicing an already-encoded payload
+  /// into a frame.
+  void raw(const std::uint8_t* data, std::size_t size);
 
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
   std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  /// Drops the content but keeps the capacity — the reuse primitive the WAL
+  /// writer's scratch buffers rely on to stay allocation-free.
+  void clear() { bytes_.clear(); }
 
  private:
   std::vector<std::uint8_t> bytes_;

@@ -23,9 +23,18 @@ ProxyPersistence::ProxyPersistence(sim::Simulator& sim, StorageBackend& backend,
     : sim_(sim),
       backend_(backend),
       config_(config),
-      writer_(backend, kWalBlobName) {}
+      writer_(backend, kWalBlobName) {
+  if (config_.group_commit) {
+    writer_.set_group_commit(true);
+    flush_hook_id_ =
+        sim_.add_post_event_hook([this] { flush_group(); });
+  }
+}
 
-ProxyPersistence::~ProxyPersistence() { detach(); }
+ProxyPersistence::~ProxyPersistence() {
+  detach();
+  if (flush_hook_id_ != 0) sim_.remove_post_event_hook(flush_hook_id_);
+}
 
 void ProxyPersistence::resume_from(const RecoveryResult& recovery) {
   writer_.reset_count(recovery.wal_records);
@@ -71,7 +80,19 @@ void ProxyPersistence::append(const WalRecord& record) {
   ++stats_.records;
 }
 
+void ProxyPersistence::flush_group() {
+  if (writer_.unsynced_records() == 0) return;
+  if (writer_.sync()) {
+    ++stats_.syncs;
+  } else {
+    ++stats_.failed_syncs;
+  }
+}
+
 void ProxyPersistence::maybe_sync() {
+  // Group commit replaces the per-record interval policy: the whole batch
+  // is fsynced once by the deferred flush event.
+  if (config_.group_commit) return;
   if (config_.sync_interval == 0) return;
   if (writer_.unsynced_records() < config_.sync_interval) return;
   if (writer_.sync()) {

@@ -60,6 +60,16 @@ struct PersistenceConfig {
   bool sync_on_forward = true;
   /// Keep this many newest snapshots; older ones are pruned.
   std::uint64_t keep_snapshots = 2;
+  /// Batch WAL framing with one fsync per producing simulator event instead
+  /// of one per record. Appends stage in the writer; a post-event hook on
+  /// the simulator flushes the whole batch with one backend append and one
+  /// fsync the moment the producing callback returns — before ANY later
+  /// event (a second arrival at the same instant, a deferred snapshot, a
+  /// crash) can run, so nothing observable ever sees the staged window.
+  /// Forwards still flush+fsync inline (the write-ahead discipline is
+  /// untouched). Off by default: the per-record call pattern (and every
+  /// digest) is byte-identical to the pre-group-commit code.
+  bool group_commit = false;
 };
 
 struct PersistenceStats {
@@ -196,6 +206,9 @@ class ProxyPersistence final : public core::ProxyJournal,
   void append(const WalRecord& record);
   void maybe_sync();
   void maybe_request_snapshot();
+  /// Group commit: the end-of-event flush+fsync of the staged batch (runs
+  /// as a simulator post-event hook).
+  void flush_group();
 
   sim::Simulator& sim_;
   StorageBackend& backend_;
@@ -208,6 +221,7 @@ class ProxyPersistence final : public core::ProxyJournal,
   std::uint64_t next_snapshot_seq_ = 1;
   bool snapshot_pending_ = false;
   sim::EventHandle snapshot_event_;
+  std::size_t flush_hook_id_ = 0;  // post-event hook id (group commit only)
   PersistenceStats stats_;
 };
 

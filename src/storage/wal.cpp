@@ -30,8 +30,7 @@ Notification decode_notification(ByteReader& reader) {
 
 namespace {
 
-std::vector<std::uint8_t> encode_payload(const WalRecord& record) {
-  ByteWriter writer;
+void encode_payload_into(ByteWriter& writer, const WalRecord& record) {
   writer.u8(static_cast<std::uint8_t>(record.type));
   writer.str(record.topic);
   writer.i64(record.at);
@@ -75,7 +74,6 @@ std::vector<std::uint8_t> encode_payload(const WalRecord& record) {
       writer.u64(record.id);
       break;
   }
-  return writer.take();
 }
 
 /// Decodes one payload. False when the payload is malformed (unknown type,
@@ -147,22 +145,49 @@ bool decode_payload(const std::vector<std::uint8_t>& payload,
 }  // namespace
 
 std::vector<std::uint8_t> encode_wal_record(const WalRecord& record) {
-  const std::vector<std::uint8_t> payload = encode_payload(record);
+  ByteWriter payload_scratch;
   ByteWriter frame;
-  frame.u32(static_cast<std::uint32_t>(payload.size()));
-  frame.u32(crc32(payload));
-  std::vector<std::uint8_t> bytes = frame.take();
-  bytes.insert(bytes.end(), payload.begin(), payload.end());
-  return bytes;
+  encode_wal_record_into(record, payload_scratch, frame);
+  return frame.take();
+}
+
+void encode_wal_record_into(const WalRecord& record, ByteWriter& payload_scratch,
+                            ByteWriter& out) {
+  payload_scratch.clear();
+  encode_payload_into(payload_scratch, record);
+  const std::vector<std::uint8_t>& payload = payload_scratch.bytes();
+  out.u32(static_cast<std::uint32_t>(payload.size()));
+  out.u32(crc32(payload));
+  out.raw(payload.data(), payload.size());
 }
 
 void WalWriter::append(const WalRecord& record) {
-  backend_.append(blob_, encode_wal_record(record));
+  if (group_commit_) {
+    encode_wal_record_into(record, payload_scratch_, staging_);
+    ++staged_;
+  } else {
+    frame_scratch_.clear();
+    encode_wal_record_into(record, payload_scratch_, frame_scratch_);
+    backend_.append(blob_, frame_scratch_.bytes());
+  }
   ++count_;
   ++unsynced_;
 }
 
+void WalWriter::set_group_commit(bool on) {
+  if (!on) flush();
+  group_commit_ = on;
+}
+
+void WalWriter::flush() {
+  if (staged_ == 0) return;
+  backend_.append(blob_, staging_.bytes());
+  staging_.clear();
+  staged_ = 0;
+}
+
 bool WalWriter::sync() {
+  flush();
   if (!backend_.sync(blob_)) return false;
   unsynced_ = 0;
   return true;

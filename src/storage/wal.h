@@ -87,7 +87,22 @@ pubsub::Notification decode_notification(ByteReader& reader);
 /// Encodes one record as a complete frame (header + payload).
 std::vector<std::uint8_t> encode_wal_record(const WalRecord& record);
 
+/// Appends one record's frame to `out`, reusing `payload_scratch` for the
+/// payload encoding. Byte-for-byte identical to encode_wal_record, without
+/// the two temporary vectors — the allocation-free framing path.
+void encode_wal_record_into(const WalRecord& record, ByteWriter& payload_scratch,
+                            ByteWriter& out);
+
 /// Appender for one WAL blob.
+///
+/// Two commit modes:
+///   * per-record (default): every append() hands one framed record to the
+///     backend immediately — the original behavior, byte-identical logs.
+///   * group commit (set_group_commit(true)): append() stages frames in a
+///     reusable buffer; flush() splices the whole batch into the backend
+///     with ONE append call, and sync() fsyncs once for the batch. The log
+///     bytes are identical either way — only the backend call pattern (and
+///     the fsync count) changes.
 class WalWriter {
  public:
   /// `initial_count` seeds the record counter when an incarnation continues
@@ -96,11 +111,23 @@ class WalWriter {
             std::uint64_t initial_count = 0)
       : backend_(backend), blob_(std::move(blob)), count_(initial_count) {}
 
-  /// Appends one frame (volatile until sync()).
+  /// Appends one frame (volatile until sync(); with group commit on, not
+  /// even in the backend's cache until flush()).
   void append(const WalRecord& record);
 
-  /// Makes every appended frame durable. False = the fsync failed and the
-  /// unsynced window is still at risk.
+  /// Batch staged frames instead of handing each to the backend. Turning
+  /// the mode off flushes whatever is staged.
+  void set_group_commit(bool on);
+  bool group_commit() const { return group_commit_; }
+
+  /// Splices every staged frame into the backend in one append. No-op when
+  /// nothing is staged.
+  void flush();
+  /// Frames staged but not yet handed to the backend.
+  std::uint64_t staged_records() const { return staged_; }
+
+  /// Makes every appended frame durable (flushing staged frames first).
+  /// False = the fsync failed and the unsynced window is still at risk.
   bool sync();
 
   /// Records appended over the lifetime of the log (all incarnations).
@@ -109,8 +136,10 @@ class WalWriter {
   void reset_count(std::uint64_t count) {
     count_ = count;
     unsynced_ = 0;
+    staging_.clear();
+    staged_ = 0;
   }
-  /// Records appended since the last successful sync.
+  /// Records appended since the last successful sync (staged ones included).
   std::uint64_t unsynced_records() const { return unsynced_; }
 
  private:
@@ -118,6 +147,14 @@ class WalWriter {
   std::string blob_;
   std::uint64_t count_ = 0;
   std::uint64_t unsynced_ = 0;
+  bool group_commit_ = false;
+  std::uint64_t staged_ = 0;
+  // Reusable scratch: payload encoding, the single-record frame (per-record
+  // mode) and the staged batch (group-commit mode). clear() keeps capacity,
+  // so steady-state framing never touches the heap.
+  ByteWriter payload_scratch_;
+  ByteWriter frame_scratch_;
+  ByteWriter staging_;
 };
 
 struct WalReadResult {

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""CI perf regression gate over BENCH_micro_core.json.
+
+Compares a freshly measured bench report against the committed baseline and
+fails (exit 1) when the headline engine throughput regressed by more than
+the allowed fraction:
+
+    python3 tools/check_perf.py \
+        --baseline BENCH_micro_core.json \
+        --fresh bench-reports/BENCH_micro_core.json \
+        --max-regression 0.15
+
+The gated metric is metrics.engine_events_per_sec — end-to-end simulator
+timer churn, the number the calendar-queue/arena work is meant to move. The
+other metrics are printed for the log but not gated: absolute numbers shift
+with runner hardware, so anything tighter than a generous single-metric gate
+would flake. Refresh the committed baseline (see EXPERIMENTS.md) whenever an
+intentional engine change moves the number.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_METRIC = "engine_events_per_sec"
+REPORTED_METRICS = (
+    "engine_events_per_sec",
+    "calendar_vs_heap_speedup",
+    "ranked_queue_ops_per_sec",
+    "wal_group_commit_speedup",
+)
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != 1:
+        sys.exit(f"{path}: unsupported bench report schema {report.get('schema')!r}")
+    return report
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH json")
+    parser.add_argument("--fresh", required=True, help="freshly measured BENCH json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="allowed fractional drop in %s (default 0.15)" % GATED_METRIC,
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    print(f"perf gate: {args.fresh} vs committed {args.baseline}")
+    for key in REPORTED_METRICS:
+        base = baseline.get("metrics", {}).get(key)
+        now = fresh.get("metrics", {}).get(key)
+        if base is None or now is None:
+            continue
+        ratio = now / base if base else float("inf")
+        print(f"  {key}: {base:.4g} -> {now:.4g}  ({ratio:.2f}x)")
+
+    base = baseline.get("metrics", {}).get(GATED_METRIC)
+    now = fresh.get("metrics", {}).get(GATED_METRIC)
+    if base is None or now is None:
+        sys.exit(f"missing metrics.{GATED_METRIC} in baseline or fresh report")
+
+    floor = base * (1.0 - args.max_regression)
+    if now < floor:
+        sys.exit(
+            f"FAIL: {GATED_METRIC} regressed beyond {args.max_regression:.0%}: "
+            f"{now:.4g} < floor {floor:.4g} (baseline {base:.4g})"
+        )
+    print(
+        f"OK: {GATED_METRIC} {now:.4g} within {args.max_regression:.0%} of "
+        f"baseline {base:.4g}"
+    )
+
+
+if __name__ == "__main__":
+    main()
