@@ -143,6 +143,11 @@ class ReplicatedProxy final : public pubsub::Subscriber {
     bool link_up() const override {
       return owner_.active_ == index_ && owner_.real_channel_.link_up();
     }
+    bool accepting() const override {
+      // The standby never transfers, so it must not hold its queues when the
+      // real channel's breaker opens; only the active mirrors the breaker.
+      return owner_.active_ != index_ || owner_.real_channel_.accepting();
+    }
     bool deliver(const pubsub::NotificationPtr& notification) override {
       const bool accepted = owner_.real_channel_.deliver(notification);
       owner_.replicate_forward(index_, notification);

@@ -1,0 +1,124 @@
+#include "experiments/invariant_monitor.h"
+
+#include <utility>
+
+namespace waif::experiments {
+
+namespace {
+
+/// Cap on stored violations: enough to diagnose, bounded under a run that
+/// trips an invariant on every event.
+constexpr std::size_t kMaxStored = 64;
+
+const char* breaker_name(core::BreakerState state) {
+  switch (state) {
+    case core::BreakerState::kClosed:
+      return "closed";
+    case core::BreakerState::kOpen:
+      return "open";
+    case core::BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+/// The legal transition set, straight from ReliableDeviceChannel:
+/// trip_breaker (closed/half-open -> open), enter_half_open
+/// (open -> half-open), close_breaker (open/half-open -> closed).
+bool legal_breaker_transition(core::BreakerState from, core::BreakerState to) {
+  using core::BreakerState;
+  switch (from) {
+    case BreakerState::kClosed:
+      return to == BreakerState::kOpen;
+    case BreakerState::kOpen:
+      return to == BreakerState::kHalfOpen || to == BreakerState::kClosed;
+    case BreakerState::kHalfOpen:
+      return to == BreakerState::kOpen || to == BreakerState::kClosed;
+  }
+  return false;
+}
+
+}  // namespace
+
+InvariantMonitor::InvariantMonitor() : InvariantMonitor(Expectations{}) {}
+
+InvariantMonitor::InvariantMonitor(Expectations expectations)
+    : expectations_(expectations) {}
+
+void InvariantMonitor::record(std::string invariant, std::string detail,
+                              SimTime at) {
+  ++total_;
+  if (violations_.size() < kMaxStored) {
+    violations_.push_back({std::move(invariant), std::move(detail), at});
+  }
+}
+
+void InvariantMonitor::note_breaker(core::BreakerState state, SimTime at) {
+  if (!legal_breaker_transition(breaker_, state)) {
+    record("breaker-legality",
+           std::string("illegal transition ") + breaker_name(breaker_) +
+               " -> " + breaker_name(state),
+           at);
+  }
+  breaker_ = state;
+}
+
+void InvariantMonitor::reset_breaker(core::BreakerState state) {
+  breaker_ = state;
+}
+
+void InvariantMonitor::note_channel(std::uint64_t next_seq,
+                                    const core::ReliableChannelStats& stats,
+                                    SimTime at) {
+  auto monotone = [&](std::uint64_t last, std::uint64_t now,
+                      const char* name) {
+    if (now < last) {
+      record("channel-monotone",
+             std::string(name) + " went backwards: " + std::to_string(last) +
+                 " -> " + std::to_string(now),
+             at);
+    }
+  };
+  monotone(last_next_seq_, next_seq, "next_seq");
+  monotone(last_stats_.accepted, stats.accepted, "accepted");
+  monotone(last_stats_.acked, stats.acked, "acked");
+  monotone(last_stats_.transmissions, stats.transmissions, "transmissions");
+  monotone(last_stats_.delivered, stats.delivered, "delivered");
+  if (stats.acked > stats.accepted) {
+    record("channel-monotone",
+           "acked " + std::to_string(stats.acked) + " exceeds accepted " +
+               std::to_string(stats.accepted),
+           at);
+  }
+  last_next_seq_ = next_seq;
+  last_stats_ = stats;
+}
+
+void InvariantMonitor::note_queue(const std::string& topic, std::size_t queued,
+                                  SimTime at) {
+  if (expectations_.topic_budget > 0 && queued > expectations_.topic_budget) {
+    record("queue-bound",
+           topic + " holds " + std::to_string(queued) + " > budget " +
+               std::to_string(expectations_.topic_budget),
+           at);
+  }
+}
+
+void InvariantMonitor::note_proxy_total(std::size_t total, SimTime at) {
+  if (expectations_.proxy_budget > 0 && total > expectations_.proxy_budget) {
+    record("queue-bound",
+           "proxy holds " + std::to_string(total) + " > budget " +
+               std::to_string(expectations_.proxy_budget),
+           at);
+  }
+}
+
+void InvariantMonitor::note_admission_rejects(std::uint64_t rejects,
+                                              SimTime at) {
+  if (!expectations_.admission_armed && rejects > 0) {
+    record("admission-legality",
+           std::to_string(rejects) + " rejects with admission unarmed", at);
+  }
+}
+
+}  // namespace waif::experiments

@@ -1,23 +1,46 @@
 #include "net/fault.h"
 
-#include "common/check.h"
+#include <stdexcept>
+#include <string>
+
 #include "common/distributions.h"
 
 namespace waif::net {
 
+namespace {
+
+/// Rejects bad fault parameters at construction with a message naming the
+/// field, mirroring workload::validate_scenario: a malformed config (NaN,
+/// negative, probability above 1) is a caller bug worth a real diagnostic,
+/// not a WAIF_CHECK abort. The comparisons are written so NaN fails them.
+void require(bool ok, const std::string& message) {
+  if (!ok) throw std::invalid_argument("fault config: " + message);
+}
+
+void require_probability(double value, const char* field) {
+  require(value >= 0.0 && value <= 1.0,
+          std::string(field) + " must be a probability in [0, 1], got " +
+              std::to_string(value));
+}
+
+}  // namespace
+
 FaultModel::FaultModel(FaultConfig config, std::uint64_t seed)
     : config_(config), rng_(seed) {
-  WAIF_CHECK(config.drop_probability >= 0.0 && config.drop_probability <= 1.0);
-  WAIF_CHECK(config.burst_start_probability >= 0.0 &&
-             config.burst_start_probability <= 1.0);
-  WAIF_CHECK(config.mean_burst_length >= 1.0);
-  WAIF_CHECK(config.half_open_probability >= 0.0 &&
-             config.half_open_probability <= 1.0);
-  WAIF_CHECK(config.mean_half_open > 0);
-  WAIF_CHECK(config.base_latency >= 0);
-  WAIF_CHECK(config.mean_latency_jitter >= 0);
-  WAIF_CHECK(config.uplink_drop_probability >= 0.0 &&
-             config.uplink_drop_probability <= 1.0);
+  require_probability(config.drop_probability, "drop_probability");
+  require_probability(config.burst_start_probability,
+                      "burst_start_probability");
+  require(config.mean_burst_length >= 1.0,
+          "mean_burst_length must be >= 1, got " +
+              std::to_string(config.mean_burst_length));
+  require_probability(config.half_open_probability, "half_open_probability");
+  require(config.mean_half_open > 0,
+          "mean_half_open must be a positive duration");
+  require(config.base_latency >= 0, "base_latency must be non-negative");
+  require(config.mean_latency_jitter >= 0,
+          "mean_latency_jitter must be non-negative");
+  require_probability(config.uplink_drop_probability,
+                      "uplink_drop_probability");
 }
 
 bool FaultModel::downlink_passes(SimTime now) {

@@ -83,6 +83,9 @@ struct FaultStats {
 /// reproducible from (FaultConfig, seed) alone.
 class FaultModel {
  public:
+  /// Throws std::invalid_argument (naming the offending field) for NaN or
+  /// out-of-range probabilities, mean_burst_length < 1, or negative
+  /// durations.
   FaultModel(FaultConfig config, std::uint64_t seed);
 
   const FaultConfig& config() const { return config_; }

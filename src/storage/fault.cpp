@@ -1,18 +1,33 @@
 #include "storage/fault.h"
 
-#include "common/check.h"
+#include <stdexcept>
+#include <string>
 
 namespace waif::storage {
+
+namespace {
+
+/// Same construction-time validation contract as net::FaultModel: a
+/// malformed probability (NaN, negative, above 1) throws a descriptive
+/// std::invalid_argument instead of aborting the process. NaN fails the
+/// range comparison by design.
+void require_probability(double value, const char* field) {
+  if (!(value >= 0.0 && value <= 1.0)) {
+    throw std::invalid_argument(
+        std::string("storage fault config: ") + field +
+        " must be a probability in [0, 1], got " + std::to_string(value));
+  }
+}
+
+}  // namespace
 
 StorageFaultModel::StorageFaultModel(StorageFaultConfig config,
                                      std::uint64_t seed)
     : config_(config), rng_(seed) {
-  WAIF_CHECK(config.fsync_failure_probability >= 0.0 &&
-             config.fsync_failure_probability <= 1.0);
-  WAIF_CHECK(config.torn_write_probability >= 0.0 &&
-             config.torn_write_probability <= 1.0);
-  WAIF_CHECK(config.bit_flip_probability >= 0.0 &&
-             config.bit_flip_probability <= 1.0);
+  require_probability(config.fsync_failure_probability,
+                      "fsync_failure_probability");
+  require_probability(config.torn_write_probability, "torn_write_probability");
+  require_probability(config.bit_flip_probability, "bit_flip_probability");
 }
 
 bool StorageFaultModel::sync_passes() {

@@ -54,6 +54,8 @@ struct StorageFaultStats {
 /// order, so a run is reproducible from (StorageFaultConfig, seed) alone.
 class StorageFaultModel {
  public:
+  /// Throws std::invalid_argument (naming the offending field) for NaN,
+  /// negative, or above-1 probabilities.
   StorageFaultModel(StorageFaultConfig config, std::uint64_t seed);
 
   const StorageFaultConfig& config() const { return config_; }

@@ -1,0 +1,126 @@
+#include "experiments/invariant_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace waif::experiments {
+namespace {
+
+using core::BreakerState;
+
+InvariantMonitor::Expectations armed() {
+  InvariantMonitor::Expectations expectations;
+  expectations.topic_budget = 8;
+  expectations.proxy_budget = 20;
+  expectations.admission_armed = true;
+  return expectations;
+}
+
+TEST(InvariantMonitor, AcceptsTheLegalBreakerCycle) {
+  InvariantMonitor monitor(armed());
+  monitor.note_breaker(BreakerState::kOpen, 1);       // trip
+  monitor.note_breaker(BreakerState::kHalfOpen, 2);   // probe window
+  monitor.note_breaker(BreakerState::kOpen, 3);       // probe failed
+  monitor.note_breaker(BreakerState::kHalfOpen, 4);
+  monitor.note_breaker(BreakerState::kClosed, 5);     // probe succeeded
+  monitor.note_breaker(BreakerState::kOpen, 6);       // trips again
+  monitor.note_breaker(BreakerState::kClosed, 7);     // direct reclose
+  EXPECT_TRUE(monitor.ok());
+}
+
+TEST(InvariantMonitor, RejectsIllegalBreakerTransitions) {
+  InvariantMonitor monitor(armed());
+  monitor.note_breaker(BreakerState::kHalfOpen, 1);  // closed -> half-open
+  ASSERT_FALSE(monitor.ok());
+  EXPECT_EQ(monitor.violations()[0].invariant, "breaker-legality");
+
+  InvariantMonitor second(armed());
+  second.note_breaker(BreakerState::kClosed, 1);  // closed -> closed
+  EXPECT_FALSE(second.ok());
+}
+
+TEST(InvariantMonitor, ResetBreakerSkipsTheLegalityCheck) {
+  InvariantMonitor monitor(armed());
+  monitor.note_breaker(BreakerState::kOpen, 1);
+  // crash_proxy_side recloses silently; the harness re-syncs the monitor.
+  monitor.reset_breaker(BreakerState::kClosed);
+  monitor.note_breaker(BreakerState::kOpen, 2);
+  EXPECT_TRUE(monitor.ok());
+}
+
+TEST(InvariantMonitor, FlagsBackwardChannelCounters) {
+  InvariantMonitor monitor(armed());
+  core::ReliableChannelStats stats;
+  stats.accepted = 10;
+  stats.acked = 4;
+  monitor.note_channel(11, stats, 1);
+  EXPECT_TRUE(monitor.ok());
+
+  stats.accepted = 9;  // went backwards
+  monitor.note_channel(11, stats, 2);
+  ASSERT_FALSE(monitor.ok());
+  EXPECT_EQ(monitor.violations()[0].invariant, "channel-monotone");
+}
+
+TEST(InvariantMonitor, FlagsSequenceRegression) {
+  InvariantMonitor monitor(armed());
+  core::ReliableChannelStats stats;
+  monitor.note_channel(7, stats, 1);
+  monitor.note_channel(6, stats, 2);
+  EXPECT_FALSE(monitor.ok());
+}
+
+TEST(InvariantMonitor, FlagsAckedBeyondAccepted) {
+  InvariantMonitor monitor(armed());
+  core::ReliableChannelStats stats;
+  stats.accepted = 3;
+  stats.acked = 5;
+  monitor.note_channel(1, stats, 1);
+  EXPECT_FALSE(monitor.ok());
+}
+
+TEST(InvariantMonitor, EnforcesQueueBudgets) {
+  InvariantMonitor monitor(armed());
+  monitor.note_queue("news", 8, 1);   // exactly at budget: fine
+  monitor.note_proxy_total(20, 1);
+  EXPECT_TRUE(monitor.ok());
+
+  monitor.note_queue("news", 9, 2);
+  ASSERT_FALSE(monitor.ok());
+  EXPECT_EQ(monitor.violations()[0].invariant, "queue-bound");
+
+  monitor.note_proxy_total(21, 3);
+  EXPECT_EQ(monitor.violations().size(), 2u);
+}
+
+TEST(InvariantMonitor, ZeroBudgetsDisableBoundChecks) {
+  InvariantMonitor monitor;  // default expectations: nothing armed
+  monitor.note_queue("news", 10000, 1);
+  monitor.note_proxy_total(10000, 1);
+  EXPECT_TRUE(monitor.ok());
+}
+
+TEST(InvariantMonitor, UnarmedAdmissionMustNeverReject) {
+  InvariantMonitor unarmed;
+  unarmed.note_admission_rejects(0, 1);
+  EXPECT_TRUE(unarmed.ok());
+  unarmed.note_admission_rejects(3, 2);
+  ASSERT_FALSE(unarmed.ok());
+  EXPECT_EQ(unarmed.violations()[0].invariant, "admission-legality");
+
+  InvariantMonitor with_admission(armed());
+  with_admission.note_admission_rejects(3, 1);
+  EXPECT_TRUE(with_admission.ok());
+}
+
+TEST(InvariantMonitor, StorageIsBoundedButTheCountIsNot) {
+  InvariantMonitor monitor(armed());
+  for (int i = 0; i < 1000; ++i) {
+    monitor.record("test-invariant", "violation " + std::to_string(i), i);
+  }
+  EXPECT_EQ(monitor.total_violations(), 1000u);
+  EXPECT_LT(monitor.violations().size(), 1000u);
+  EXPECT_FALSE(monitor.ok());
+}
+
+}  // namespace
+}  // namespace waif::experiments

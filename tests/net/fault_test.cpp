@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/time.h"
@@ -121,12 +124,6 @@ TEST(FaultModelTest, CertainUplinkDropCounts) {
   EXPECT_EQ(model.stats().uplink_drops, 10u);
 }
 
-TEST(FaultModelDeathTest, RejectsOutOfRangeProbability) {
-  FaultConfig config;
-  config.drop_probability = 1.5;
-  EXPECT_DEATH(FaultModel(config, 1), "WAIF_CHECK failed");
-}
-
 // --- Link integration ------------------------------------------------------
 
 TEST(LinkFaultTest, LinkWithoutFaultModelPassesEverything) {
@@ -173,6 +170,81 @@ TEST(LinkFaultDeathTest, SecondApplyScheduleIsRejected) {
   link.apply_schedule(OutageSchedule({Outage{10, 20}}, 100));
   EXPECT_DEATH(link.apply_schedule(OutageSchedule::always_up(100)),
                "WAIF_CHECK failed");
+}
+
+// ---------------------------------------------- construction validation
+
+TEST(FaultModelValidationTest, RejectsEveryMalformedField) {
+  const auto rejected = [](FaultConfig config) {
+    EXPECT_THROW(FaultModel(config, 1), std::invalid_argument);
+  };
+  FaultConfig config;
+
+  config.drop_probability = -0.1;
+  rejected(config);
+  config.drop_probability = 1.5;
+  rejected(config);
+  config.drop_probability = std::nan("");
+  rejected(config);
+
+  config = FaultConfig{};
+  config.burst_start_probability = -0.01;
+  rejected(config);
+  config.burst_start_probability = std::nan("");
+  rejected(config);
+
+  config = FaultConfig{};
+  config.mean_burst_length = 0.5;  // must be >= 1
+  rejected(config);
+  config.mean_burst_length = std::nan("");
+  rejected(config);
+
+  config = FaultConfig{};
+  config.half_open_probability = 2.0;
+  rejected(config);
+
+  config = FaultConfig{};
+  config.mean_half_open = 0;
+  rejected(config);
+  config.mean_half_open = -kMinute;
+  rejected(config);
+
+  config = FaultConfig{};
+  config.base_latency = -1;
+  rejected(config);
+
+  config = FaultConfig{};
+  config.mean_latency_jitter = -kSecond;
+  rejected(config);
+
+  config = FaultConfig{};
+  config.uplink_drop_probability = -1.0;
+  rejected(config);
+  config.uplink_drop_probability = std::nan("");
+  rejected(config);
+}
+
+TEST(FaultModelValidationTest, ErrorNamesTheOffendingField) {
+  FaultConfig config;
+  config.uplink_drop_probability = 3.0;
+  try {
+    FaultModel model(config, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("uplink_drop_probability"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(FaultModelValidationTest, BoundaryValuesAreAccepted) {
+  FaultConfig config;
+  config.drop_probability = 1.0;
+  config.burst_start_probability = 0.0;
+  config.mean_burst_length = 1.0;
+  config.half_open_probability = 1.0;
+  config.uplink_drop_probability = 1.0;
+  EXPECT_NO_THROW(FaultModel(config, 1));
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
 // refused and the event parked instead of delivered.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
+#include <stdexcept>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "pubsub/notification.h"
 #include "sim/simulator.h"
 #include "storage/backend.h"
+#include "storage/fault.h"
 #include "storage/persistence.h"
 #include "storage/wal.h"
 
@@ -179,6 +182,55 @@ TEST_F(BackendFaultTest, ForwardIsRefusedWhenItsRecordCannotBeMadeDurable) {
   EXPECT_TRUE(read_wal(backend).clean());
 
   persistence.detach();
+}
+
+// ---------------------------------------------- construction validation
+
+TEST(StorageFaultValidationTest, RejectsEveryMalformedField) {
+  const auto rejected = [](StorageFaultConfig config) {
+    EXPECT_THROW(StorageFaultModel(config, 1), std::invalid_argument);
+  };
+  StorageFaultConfig config;
+
+  config.fsync_failure_probability = -0.2;
+  rejected(config);
+  config.fsync_failure_probability = 1.01;
+  rejected(config);
+  config.fsync_failure_probability = std::nan("");
+  rejected(config);
+
+  config = StorageFaultConfig{};
+  config.torn_write_probability = -1.0;
+  rejected(config);
+  config.torn_write_probability = std::nan("");
+  rejected(config);
+
+  config = StorageFaultConfig{};
+  config.bit_flip_probability = 2.0;
+  rejected(config);
+  config.bit_flip_probability = std::nan("");
+  rejected(config);
+}
+
+TEST(StorageFaultValidationTest, ErrorNamesTheOffendingField) {
+  StorageFaultConfig config;
+  config.torn_write_probability = -0.5;
+  try {
+    StorageFaultModel model(config, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("torn_write_probability"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(StorageFaultValidationTest, BoundaryValuesAreAccepted) {
+  StorageFaultConfig config;
+  config.fsync_failure_probability = 1.0;
+  config.torn_write_probability = 0.0;
+  config.bit_flip_probability = 1.0;
+  EXPECT_NO_THROW(StorageFaultModel(config, 1));
 }
 
 }  // namespace

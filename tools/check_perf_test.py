@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_perf.py, run on synthetic bench reports.
+
+Registered in ctest (see tests/CMakeLists.txt) so the perf gate's own
+behaviour — pass, fail, and the warn-and-skip paths for baselines that do
+not exist yet — is covered by the same `ctest` invocation as everything
+else. Each case shells out to the real script the way CI does.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "check_perf.py")
+
+
+def report(events_per_sec=None, schema=1, extra_metrics=None):
+    metrics = dict(extra_metrics or {})
+    if events_per_sec is not None:
+        metrics["engine_events_per_sec"] = events_per_sec
+    return {"schema": schema, "bench": "synthetic", "metrics": metrics}
+
+
+class CheckPerfTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def path(self, name, content=None):
+        full = os.path.join(self._dir.name, name)
+        if content is not None:
+            with open(full, "w", encoding="utf-8") as handle:
+                json.dump(content, handle)
+        return full
+
+    def run_gate(self, baseline, fresh, max_regression=None):
+        command = [sys.executable, SCRIPT, "--baseline", baseline, "--fresh", fresh]
+        if max_regression is not None:
+            command += ["--max-regression", str(max_regression)]
+        return subprocess.run(command, capture_output=True, text=True)
+
+    def test_within_budget_passes(self):
+        result = self.run_gate(
+            self.path("base.json", report(1000.0)),
+            self.path("fresh.json", report(950.0)),
+        )
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("OK", result.stdout)
+
+    def test_regression_beyond_budget_fails(self):
+        result = self.run_gate(
+            self.path("base.json", report(1000.0)),
+            self.path("fresh.json", report(500.0)),
+            max_regression=0.15,
+        )
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL", result.stderr)
+
+    def test_missing_baseline_file_warns_and_skips(self):
+        # A freshly added bench has a report in the run but no committed
+        # baseline yet: that must not fail CI.
+        result = self.run_gate(
+            os.path.join(self._dir.name, "does_not_exist.json"),
+            self.path("fresh.json", report(1000.0)),
+        )
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("WARN", result.stdout)
+        self.assertIn("skipping", result.stdout)
+
+    def test_baseline_without_gated_metric_warns_and_skips(self):
+        result = self.run_gate(
+            self.path("base.json", report(None, extra_metrics={"other": 1.0})),
+            self.path("fresh.json", report(1000.0)),
+        )
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("WARN", result.stdout)
+
+    def test_missing_fresh_file_is_an_error(self):
+        result = self.run_gate(
+            self.path("base.json", report(1000.0)),
+            os.path.join(self._dir.name, "does_not_exist.json"),
+        )
+        self.assertNotEqual(result.returncode, 0)
+
+    def test_fresh_without_gated_metric_is_an_error(self):
+        result = self.run_gate(
+            self.path("base.json", report(1000.0)),
+            self.path("fresh.json", report(None)),
+        )
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("engine_events_per_sec", result.stderr)
+
+    def test_bad_schema_is_an_error(self):
+        result = self.run_gate(
+            self.path("base.json", report(1000.0, schema=2)),
+            self.path("fresh.json", report(1000.0)),
+        )
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("schema", result.stderr)
+
+    def test_other_metrics_are_reported_not_gated(self):
+        # A secondary metric cratering must not fail the gate.
+        result = self.run_gate(
+            self.path(
+                "base.json",
+                report(1000.0, extra_metrics={"wal_group_commit_speedup": 4.0}),
+            ),
+            self.path(
+                "fresh.json",
+                report(1000.0, extra_metrics={"wal_group_commit_speedup": 0.1}),
+            ),
+        )
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("wal_group_commit_speedup", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
